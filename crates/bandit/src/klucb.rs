@@ -1,0 +1,219 @@
+//! KL-UCB confidence indices for Bernoulli links (§5.2).
+//!
+//! The *empirical transmission cost with exploration adjustment* of a link
+//! is `ω_τ = min{ 1/u : u ∈ [θ̂, 1], t'·KL(θ̂, u) ≤ log τ }` — i.e. the
+//! reciprocal of the KL-UCB upper confidence bound on the link's success
+//! probability. Optimistic links (few attempts) get `u` near 1 and hence a
+//! low cost, which drives exploration; well-measured links converge to
+//! `1/θ̂`.
+
+/// Kullback-Leibler divergence between Bernoulli(p) and Bernoulli(q).
+pub fn kl_bernoulli(p: f64, q: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    let q = q.clamp(1e-12, 1.0 - 1e-12);
+    let mut d = 0.0;
+    if p > 0.0 {
+        d += p * (p / q).ln();
+    }
+    if p < 1.0 {
+        d += (1.0 - p) * ((1.0 - p) / (1.0 - q)).ln();
+    }
+    d
+}
+
+/// KL-UCB upper confidence bound: the largest `u ∈ [p_hat, 1]` with
+/// `attempts * KL(p_hat, u) ≤ budget`, found by bisection.
+///
+/// With `attempts == 0` the bound is 1 (total optimism).
+pub fn kl_ucb_upper(p_hat: f64, attempts: u64, budget: f64) -> f64 {
+    if attempts == 0 {
+        return 1.0;
+    }
+    let p_hat = p_hat.clamp(0.0, 1.0);
+    if p_hat >= 1.0 {
+        return 1.0;
+    }
+    let t = attempts as f64;
+    let allowed = (budget / t).max(0.0);
+    let (mut lo, mut hi) = (p_hat, 1.0);
+    for _ in 0..48 {
+        let mid = 0.5 * (lo + hi);
+        if kl_bernoulli(p_hat, mid) <= allowed {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// The ω cost of a link: `1 / kl_ucb_upper(θ̂, t', log τ)`, floored at 1
+/// (a perfect link still costs one slot per transmission).
+pub fn omega(p_hat: f64, attempts: u64, log_tau: f64) -> f64 {
+    let u = kl_ucb_upper(p_hat, attempts, log_tau.max(0.0));
+    (1.0 / u.max(1e-9)).max(1.0)
+}
+
+/// Lower confidence bound (the dual of [`kl_ucb_upper`]), used by the
+/// end-to-end LCB baseline \[42\]: the smallest `u ∈ [0, p_hat]` with
+/// `attempts * KL(p_hat, u) ≤ budget`.
+pub fn kl_lcb_lower(p_hat: f64, attempts: u64, budget: f64) -> f64 {
+    if attempts == 0 {
+        return 0.0;
+    }
+    let p_hat = p_hat.clamp(0.0, 1.0);
+    if p_hat <= 0.0 {
+        return 0.0;
+    }
+    let t = attempts as f64;
+    let allowed = (budget / t).max(0.0);
+    let (mut lo, mut hi) = (0.0, p_hat);
+    for _ in 0..48 {
+        let mid = 0.5 * (lo + hi);
+        if kl_bernoulli(p_hat, mid) <= allowed {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Per-link empirical statistics.
+///
+/// # Examples
+///
+/// ```
+/// use totoro_bandit::LinkStats;
+///
+/// let mut link = LinkStats::default();
+/// for i in 0..100 {
+///     link.record(i % 4 != 0); // 75% success rate.
+/// }
+/// assert!((link.p_hat() - 0.75).abs() < 1e-9);
+/// // The exploration-adjusted cost stays optimistic: at most 1/p_hat.
+/// assert!(link.omega(5.0_f64.ln()) <= 1.0 / 0.75 + 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkStats {
+    /// Total transmission attempts `t'`.
+    pub attempts: u64,
+    /// Successful transmissions `s`.
+    pub successes: u64,
+}
+
+impl LinkStats {
+    /// Records one attempt with outcome `ok`.
+    pub fn record(&mut self, ok: bool) {
+        self.attempts += 1;
+        if ok {
+            self.successes += 1;
+        }
+    }
+
+    /// Empirical success rate `θ̂` (1 when unexplored, by optimism).
+    pub fn p_hat(&self) -> f64 {
+        if self.attempts == 0 {
+            1.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+
+    /// The exploration-adjusted cost ω of this link at log-time `log_tau`.
+    pub fn omega(&self, log_tau: f64) -> f64 {
+        if self.attempts == 0 {
+            1.0
+        } else {
+            omega(self.p_hat(), self.attempts, log_tau)
+        }
+    }
+
+    /// Empirical mean delay `1/θ̂` without exploration adjustment (the
+    /// next-hop baseline's view); unexplored links look like one slot.
+    pub fn empirical_delay(&self) -> f64 {
+        let p = self.p_hat();
+        if p <= 0.0 {
+            1e9
+        } else {
+            1.0 / p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_properties() {
+        assert_eq!(kl_bernoulli(0.3, 0.3), 0.0);
+        assert!(kl_bernoulli(0.3, 0.6) > 0.0);
+        assert!(kl_bernoulli(0.9, 0.1) > kl_bernoulli(0.9, 0.8));
+        // Finite at the boundaries thanks to clamping.
+        assert!(kl_bernoulli(0.0, 0.5).is_finite());
+        assert!(kl_bernoulli(1.0, 0.5).is_finite());
+    }
+
+    #[test]
+    fn ucb_bound_satisfies_constraint_and_brackets_p() {
+        for &(p, t, b) in &[(0.5, 10u64, 2.0), (0.1, 100, 4.0), (0.9, 3, 1.0)] {
+            let u = kl_ucb_upper(p, t, b);
+            assert!(u >= p - 1e-9, "u < p_hat");
+            assert!(u <= 1.0);
+            assert!(t as f64 * kl_bernoulli(p, u) <= b + 1e-6);
+        }
+    }
+
+    #[test]
+    fn ucb_tightens_with_more_attempts() {
+        let loose = kl_ucb_upper(0.5, 5, 3.0);
+        let tight = kl_ucb_upper(0.5, 500, 3.0);
+        assert!(loose > tight);
+        assert!(tight - 0.5 < 0.08);
+    }
+
+    #[test]
+    fn ucb_widens_with_budget() {
+        let small = kl_ucb_upper(0.4, 50, 1.0);
+        let large = kl_ucb_upper(0.4, 50, 6.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn unexplored_links_are_maximally_optimistic() {
+        assert_eq!(kl_ucb_upper(0.0, 0, 5.0), 1.0);
+        assert_eq!(omega(0.0, 0, 5.0), 1.0);
+        assert_eq!(LinkStats::default().omega(5.0), 1.0);
+    }
+
+    #[test]
+    fn omega_approaches_true_delay() {
+        // Many attempts at rate 0.25: omega -> 4.
+        let w = omega(0.25, 1_000_000, 10.0);
+        assert!((w - 4.0).abs() < 0.05, "omega = {w}");
+        assert!(w <= 4.0 + 1e-9, "omega must stay optimistic");
+    }
+
+    #[test]
+    fn lcb_mirrors_ucb() {
+        let l = kl_lcb_lower(0.5, 20, 2.0);
+        let u = kl_ucb_upper(0.5, 20, 2.0);
+        assert!(l < 0.5 && 0.5 < u);
+        assert!(kl_lcb_lower(0.5, 0, 2.0) == 0.0);
+        // More samples narrow the band.
+        assert!(kl_lcb_lower(0.5, 2_000, 2.0) > l);
+    }
+
+    #[test]
+    fn stats_track_rates() {
+        let mut s = LinkStats::default();
+        for i in 0..10 {
+            s.record(i % 2 == 0);
+        }
+        assert_eq!(s.attempts, 10);
+        assert_eq!(s.successes, 5);
+        assert!((s.p_hat() - 0.5).abs() < 1e-12);
+        assert!((s.empirical_delay() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! # totoro-bandit
+//!
+//! Totoro's bandit-based exploitation-exploration path-planning model (§5
+//! of the paper). Link qualities in edge networks are unknown Bernoulli
+//! success probabilities; choosing data-transfer paths is a combinatorial
+//! semi-bandit problem. This crate provides:
+//!
+//! * [`graph`] — directed link graphs with hidden `θ`, path enumeration,
+//!   optimal-path computation, and layered test-graph generators;
+//! * [`klucb`] — Bernoulli KL divergence, KL-UCB/LCB confidence bounds, and
+//!   the exploration-adjusted link cost `ω`;
+//! * [`policies`] — Algorithm 1 (distributed hop-by-hop KL-UCB routing) and
+//!   the evaluation baselines: end-to-end LCB routing, next-hop empirical
+//!   routing, and the optimal oracle;
+//! * [`runner`] — regret curves and path-selection-frequency series
+//!   (Figures 10 and 11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod klucb;
+pub mod policies;
+pub mod runner;
+
+pub use graph::{layered, trap_graph, Edge, EdgeId, LinkGraph, Vertex};
+pub use klucb::{kl_bernoulli, kl_lcb_lower, kl_ucb_upper, omega, LinkStats};
+pub use policies::{PacketResult, Policy, Router};
+pub use runner::{mean_regret_curve, ranked_paths, run_trial, TrialResult};

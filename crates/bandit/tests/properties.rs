@@ -1,0 +1,118 @@
+//! Property-based tests for the bandit planner's mathematical invariants.
+
+use proptest::prelude::*;
+use totoro_bandit::{
+    kl_bernoulli, kl_lcb_lower, kl_ucb_upper, layered, omega, LinkGraph, Policy, Router,
+};
+
+proptest! {
+    /// KL divergence is non-negative and zero iff p == q (clamped).
+    #[test]
+    fn kl_nonnegative(p in 0.0f64..=1.0, q in 0.001f64..=0.999) {
+        let d = kl_bernoulli(p, q);
+        prop_assert!(d >= -1e-12);
+        if (p - q).abs() < 1e-12 {
+            prop_assert!(d < 1e-9);
+        }
+    }
+
+    /// The confidence interval brackets the empirical mean and satisfies
+    /// the KL budget on both sides.
+    #[test]
+    fn confidence_bounds_bracket(
+        p in 0.0f64..=1.0,
+        attempts in 1u64..10_000,
+        budget in 0.0f64..20.0,
+    ) {
+        let u = kl_ucb_upper(p, attempts, budget);
+        let l = kl_lcb_lower(p, attempts, budget);
+        prop_assert!(l <= p + 1e-9);
+        prop_assert!(u >= p - 1e-9);
+        prop_assert!(attempts as f64 * kl_bernoulli(p, u) <= budget + 1e-5);
+        prop_assert!(attempts as f64 * kl_bernoulli(p, l) <= budget + 1e-5);
+    }
+
+    /// More attempts tighten the bound; larger budgets widen it.
+    #[test]
+    fn bound_monotonicity(p in 0.05f64..0.95, t in 2u64..1_000, budget in 0.5f64..8.0) {
+        let u1 = kl_ucb_upper(p, t, budget);
+        let u2 = kl_ucb_upper(p, t * 4, budget);
+        prop_assert!(u2 <= u1 + 1e-9);
+        let u3 = kl_ucb_upper(p, t, budget * 2.0);
+        prop_assert!(u3 >= u1 - 1e-9);
+    }
+
+    /// The omega cost is always >= 1 (a slot is the cheapest transmission)
+    /// and optimistic (<= the empirical mean delay).
+    #[test]
+    fn omega_bounds(p in 0.01f64..=1.0, t in 1u64..5_000, budget in 0.0f64..15.0) {
+        let w = omega(p, t, budget);
+        prop_assert!(w >= 1.0 - 1e-9);
+        if p > 0.0 {
+            prop_assert!(w <= 1.0 / p + 1e-6, "omega must stay optimistic");
+        }
+    }
+
+    /// Path enumeration on layered graphs matches the closed form, and the
+    /// best path is among them.
+    #[test]
+    fn layered_paths_complete(width in 1usize..4, depth in 1usize..4, seed in any::<u64>()) {
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let (g, s, d) = layered(width, depth, (0.1, 0.9), &mut rng);
+        let paths = g.all_paths(s, d);
+        prop_assert_eq!(paths.len(), width.pow(depth as u32));
+        let (best, delay) = g.best_path(s, d).expect("connected");
+        prop_assert!(paths.contains(&best));
+        for p in &paths {
+            prop_assert!(g.path_delay(p) >= delay - 1e-9);
+        }
+    }
+
+    /// Every policy delivers every packet on a connected layered graph, and
+    /// the realized path is a valid s→d walk.
+    #[test]
+    fn policies_always_deliver(seed in any::<u64>(), policy_idx in 0usize..4) {
+        let policy = [
+            Policy::HopByHopKlUcb,
+            Policy::EndToEndLcb,
+            Policy::NextHopEmpirical,
+            Policy::Oracle,
+        ][policy_idx];
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let (g, s, d) = layered(2, 2, (0.3, 0.9), &mut rng);
+        let mut router = Router::new(policy, &g);
+        for _ in 0..5 {
+            let res = router.route_packet(&g, s, d, &mut rng);
+            let mut v = s;
+            for &e in &res.edges {
+                prop_assert_eq!(g.edge(e).from, v);
+                v = g.edge(e).to;
+            }
+            prop_assert_eq!(v, d);
+            prop_assert!(res.delay >= res.edges.len() as u64);
+        }
+    }
+
+    /// Statistics are conserved: total attempts recorded equals total
+    /// slots consumed.
+    #[test]
+    fn stats_conservation(seed in any::<u64>()) {
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let (g, s, d) = layered(2, 2, (0.4, 0.9), &mut rng);
+        let mut router = Router::new(Policy::HopByHopKlUcb, &g);
+        let mut total_delay = 0;
+        for _ in 0..10 {
+            total_delay += router.route_packet(&g, s, d, &mut rng).delay;
+        }
+        let attempts: u64 = router.stats().iter().map(|s| s.attempts).sum();
+        prop_assert_eq!(attempts, total_delay);
+    }
+}
+
+/// Non-proptest sanity: `LinkGraph` rejects self-loops (panics).
+#[test]
+#[should_panic]
+fn self_loops_rejected() {
+    let mut g = LinkGraph::new(2);
+    g.add_edge(1, 1, 0.5);
+}

@@ -1,0 +1,21 @@
+//! # totoro-baselines
+//!
+//! The centralized "single master / many workers" federated-learning
+//! engines the paper compares Totoro against: OpenFL v1.3 and FedScale
+//! v0.5 (§7.1). Both rely on a logically central coordinator that admits
+//! applications first-come-first-served and funnels every round-setup,
+//! model-serialization, update-ingestion, and evaluation task through one
+//! bounded worker pool — the queue that Totoro's per-application masters
+//! eliminate. See DESIGN.md §1 for the substitution argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod spec;
+
+pub use engine::{
+    compute_time, CentralMsg, CentralNode, CentralizedEngine, Client, Server, WorkQueue,
+    BASE_EDGE_FLOPS, SERVER_SPEEDUP,
+};
+pub use spec::{AppSpec, ServerProfile};

@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks for the hot paths of every substrate:
+//! DHT routing, tree operations, KL-UCB planning, ML kernels, and
+//! serialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+
+use totoro_bandit::{layered, LinkStats, Policy, Router};
+use totoro_dht::{
+    build_states, implicit_route_hops, next_hop, random_ids, DhtConfig, Id, NextHop,
+};
+use totoro_ml::{
+    quantize_int8, top_k, weights_to_bytes, Mlp, ModelUpdate, TaskGenerator,
+};
+use totoro_simnet::sub_rng;
+
+fn bench_dht_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_routing");
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = sub_rng(1, "bench-ids");
+        let ids = random_ids(n, &mut rng);
+        let states = build_states(&ids, DhtConfig::default());
+        group.bench_with_input(BenchmarkId::new("full_route", n), &n, |b, _| {
+            let mut k = 0u128;
+            b.iter(|| {
+                k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let key = Id::new(k ^ 0xDEAD_BEEF_CAFE);
+                let mut cur = (k as usize) % n;
+                let mut hops = 0;
+                loop {
+                    match next_hop(&states[cur], key) {
+                        NextHop::Deliver => break,
+                        NextHop::Forward(c) => cur = c.addr,
+                    }
+                    hops += 1;
+                    if hops > 64 {
+                        break;
+                    }
+                }
+                std::hint::black_box(cur)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("table_lookup", n), &n, |b, _| {
+            let mut k = 0u128;
+            b.iter(|| {
+                k = k.wrapping_add(0x9E37_79B9);
+                std::hint::black_box(next_hop(&states[k as usize % n], Id::new(k << 64)))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("implicit_routing");
+    for &n in &[100_000usize, 1_000_000] {
+        let mut rng = sub_rng(2, "bench-ids");
+        let ids = random_ids(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("hops", n), &n, |b, _| {
+            let mut k = 0u128;
+            b.iter(|| {
+                k = k.wrapping_mul(6364136223846793005).wrapping_add(99);
+                std::hint::black_box(implicit_route_hops(
+                    &ids,
+                    (k as usize) % n,
+                    Id::new(k),
+                    4,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_overlay_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_build");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = sub_rng(3, "bench-ids");
+        let ids = random_ids(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("bulk_states", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(build_states(&ids, DhtConfig::default()).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_klucb(c: &mut Criterion) {
+    c.bench_function("klucb/omega_index", |b| {
+        let mut stats = LinkStats::default();
+        for i in 0..500 {
+            stats.record(i % 3 != 0);
+        }
+        let mut t = 2.0f64;
+        b.iter(|| {
+            t += 1.0;
+            std::hint::black_box(stats.omega(t.ln()))
+        });
+    });
+
+    c.bench_function("klucb/route_packet_3x3", |b| {
+        let mut rng = sub_rng(4, "bench-graph");
+        let (g, s, d) = layered(3, 3, (0.2, 0.9), &mut rng);
+        let mut router = Router::new(Policy::HopByHopKlUcb, &g);
+        let mut prng = sub_rng(5, "bench-pkts");
+        b.iter(|| std::hint::black_box(router.route_packet(&g, s, d, &mut prng).delay));
+    });
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let mut rng = sub_rng(6, "bench-ml");
+    let generator = TaskGenerator::new(totoro_ml::femnist_like(), &mut rng);
+    let shard = generator.test_set(64, &mut rng);
+    let mut model = Mlp::new(&[40, 48, 62], &mut rng);
+
+    c.bench_function("ml/train_epoch_64x40", |b| {
+        b.iter(|| std::hint::black_box(model.train_epoch(&shard.xs, &shard.ys, 20, 0.1, None)));
+    });
+
+    let w = model.to_weights();
+    c.bench_function("ml/fedavg_merge_5k", |b| {
+        let u1 = ModelUpdate::from_client(&w, 10);
+        let u2 = ModelUpdate::from_client(&w, 20);
+        b.iter(|| {
+            let mut acc = u1.clone();
+            acc.merge(&u2);
+            std::hint::black_box(acc.samples)
+        });
+    });
+
+    c.bench_function("ml/serialize_5k", |b| {
+        b.iter(|| std::hint::black_box(weights_to_bytes(&w).len()));
+    });
+
+    c.bench_function("ml/topk_compress_5k", |b| {
+        b.iter(|| std::hint::black_box(top_k(&w, 200).indices.len()));
+    });
+
+    c.bench_function("ml/int8_quantize_5k", |b| {
+        b.iter(|| std::hint::black_box(quantize_int8(&w).q.len()));
+    });
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut rng = sub_rng(7, "bench-sha");
+    let data: Vec<u8> = (0..1024).map(|_| rng.gen()).collect();
+    c.bench_function("hash/sha1_1k", |b| {
+        b.iter(|| std::hint::black_box(totoro_dht::sha1(&data)[0]));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dht_routing,
+    bench_overlay_build,
+    bench_klucb,
+    bench_ml,
+    bench_sha1
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! # totoro-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§7). One binary per artifact:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `fig5_scalability` | Fig. 5a–d: zones, master distribution, branch balance |
+//! | `fig6_dissemination` | Fig. 6a–c: dissemination/aggregation time vs N, fanout; O(log N) hops |
+//! | `fig7_traffic` | Fig. 7: per-node TCP/UDP traffic vs number of trees |
+//! | `table3_speedup` | Table 3: time-to-accuracy speedups vs OpenFL/FedScale |
+//! | `fig8_fig9_tta` | Figs. 8–9: time-to-accuracy curves |
+//! | `fig10_regret` | Fig. 10: regret comparison of path-planning algorithms |
+//! | `fig11_path_freq` | Fig. 11: path-selection frequencies |
+//! | `fig12_recovery` | Fig. 12: failure-recovery time vs number of trees |
+//! | `fig13_overhead` | Fig. 13a–b: CPU and memory overhead vs OpenFL |
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod setups;

@@ -1,0 +1,145 @@
+//! Plain-text reporting helpers shared by the experiment binaries.
+//!
+//! Every figure/table binary prints (a) a human-readable markdown table
+//! mirroring the paper's artifact and (b) machine-readable CSV blocks
+//! (`# csv:<name>` sentinel lines) that downstream plotting can consume.
+
+/// Prints a markdown table.
+pub fn markdown_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Prints a CSV block with a sentinel header for scripted extraction.
+pub fn csv_block(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n# csv:{name}");
+    println!("{}", headers.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+    println!("# end-csv:{name}");
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a speedup as the paper does ("3.7x").
+pub fn speedup(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+/// Simple descriptive statistics of a sample.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Sample size.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (population).
+    pub sd: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes [`Stats`] over `xs`.
+pub fn stats(xs: &[f64]) -> Stats {
+    if xs.is_empty() {
+        return Stats::default();
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    Stats {
+        n,
+        mean,
+        sd: var.sqrt(),
+        min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+        max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// Nearest-rank percentile of `xs` (not necessarily sorted).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p.clamp(0.0, 100.0) / 100.0) * (v.len() - 1) as f64).round() as usize;
+    v[rank]
+}
+
+/// Parses `--key value` style CLI overrides with a default.
+pub fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
+    arg_value(args, key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses a `--key value` flag as u64.
+pub fn arg_u64(args: &[String], key: &str, default: u64) -> u64 {
+    arg_value(args, key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses a `--key value` flag as String.
+pub fn arg_string(args: &[String], key: &str, default: &str) -> String {
+    arg_value(args, key).unwrap_or_else(|| default.to_string())
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    let flag = format!("--{key}");
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let s = stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(stats(&[]).n, 0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = vec![10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 50.0), 30.0);
+        assert_eq!(percentile(&xs, 100.0), 50.0);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--nodes", "100", "--dataset", "speech"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_usize(&args, "nodes", 5), 100);
+        assert_eq!(arg_usize(&args, "missing", 7), 7);
+        assert_eq!(arg_string(&args, "dataset", "femnist"), "speech");
+        assert_eq!(arg_u64(&args, "nodes", 0), 100);
+    }
+}

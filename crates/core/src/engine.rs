@@ -1,0 +1,428 @@
+//! The Totoro FL engine: the application layer running on every node.
+//!
+//! Role assignment follows §4.3 step 1d: for each application's tree, the
+//! *root* node is the master (coordinator + aggregator + final model
+//! owner), *interior* nodes aggregate in-network, and *leaf* subscribers
+//! are the workers. Because roles are per-tree, one node simultaneously
+//! plays different roles for different applications — the
+//! "many masters / many workers" architecture.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use totoro_dht::Id;
+use totoro_ml::{accuracy, AccuracyPoint, Dataset, Mlp, ModelUpdate};
+use totoro_pubsub::{ForestApi, ForestApp};
+use totoro_simnet::{ComputeKind, NodeIdx, SimDuration, SimTime};
+
+use crate::config::{FlAppConfig, RoundPolicy};
+use crate::update::FlData;
+
+/// The master-side state of one application (lives at the tree root).
+#[derive(Debug)]
+pub struct MasterState {
+    /// Application index in the registry.
+    pub app: usize,
+    /// The global model.
+    pub model: Mlp,
+    /// Current round (0 = not yet started).
+    pub round: u64,
+    /// Time-to-accuracy curve.
+    pub curve: Vec<AccuracyPoint>,
+    /// When this node became the master.
+    pub started_at: SimTime,
+    /// Whether the target accuracy (or round cap) was reached.
+    pub done: bool,
+}
+
+/// Engine counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Models received as a worker.
+    pub models_received: u64,
+    /// Updates this node contributed as a worker.
+    pub updates_contributed: u64,
+    /// Rounds this node started as a master.
+    pub rounds_started: u64,
+    /// Aggregations completed at this node as a master.
+    pub rounds_completed: u64,
+}
+
+/// The per-node FL engine (implements the forest's application trait).
+pub struct FlEngine {
+    addr: NodeIdx,
+    /// Application registry (same order on every node).
+    registry: Vec<Arc<FlAppConfig>>,
+    topic_to_app: HashMap<Id, usize>,
+    shards: HashMap<usize, Dataset>,
+    replicas: HashMap<usize, Mlp>,
+    /// Most recent local mean training loss per app (feeds LossAdaptive
+    /// selection).
+    last_loss: HashMap<usize, f32>,
+    /// Master state per application (present only where this node is/was
+    /// the root).
+    pub masters: HashMap<usize, MasterState>,
+    /// Counters.
+    pub stats: EngineStats,
+}
+
+impl FlEngine {
+    /// Creates the engine for the node at `addr`.
+    pub fn new(addr: NodeIdx) -> Self {
+        FlEngine {
+            addr,
+            registry: Vec::new(),
+            topic_to_app: HashMap::new(),
+            shards: HashMap::new(),
+            replicas: HashMap::new(),
+            last_loss: HashMap::new(),
+            masters: HashMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Registers an application spec; every node registers the same specs
+    /// in the same order (the app catalog is global metadata).
+    pub fn register_app(&mut self, config: Arc<FlAppConfig>) -> usize {
+        let app = self.registry.len();
+        self.topic_to_app.insert(config.app_id(), app);
+        self.registry.push(config);
+        app
+    }
+
+    /// Installs this node's training shard for application `app`.
+    pub fn install_shard(&mut self, app: usize, shard: Dataset) {
+        self.shards.insert(app, shard);
+    }
+
+    /// The registered config of `app`.
+    pub fn config(&self, app: usize) -> &Arc<FlAppConfig> {
+        &self.registry[app]
+    }
+
+    /// Number of registered applications.
+    pub fn num_apps(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// The application index owning `topic`, if registered.
+    pub fn app_of_topic(&self, topic: Id) -> Option<usize> {
+        self.topic_to_app.get(&topic).copied()
+    }
+
+    fn fresh_model(config: &FlAppConfig) -> Mlp {
+        let mut rng = rand::SeedableRng::seed_from_u64(config.seed);
+        Mlp::new(&config.model_dims, &mut rng)
+    }
+
+    fn start_round(&mut self, api: &mut ForestApi<'_, '_, '_, FlData>, app: usize) {
+        let config = Arc::clone(&self.registry[app]);
+        let topic = config.app_id();
+        if api.children_count(topic) == 0 {
+            // The tree has not assembled yet (or lost all children):
+            // retry later without consuming a round.
+            if self.masters.get(&app).is_some_and(|m| !m.done) {
+                api.set_app_timer(config.round_pause, app as u64 * 2);
+            }
+            return;
+        }
+        let (round, weights) = {
+            let Some(master) = self.masters.get_mut(&app) else {
+                return;
+            };
+            if master.done {
+                return;
+            }
+            master.round += 1;
+            self.stats.rounds_started += 1;
+            (master.round, master.model.to_weights())
+        };
+        // A master that also subscribed as a worker trains like any other
+        // participant ("any combination of roles", §4.3) — required for
+        // secure aggregation's roster to be complete.
+        let local = self.train_update(api, app, round, &weights);
+        // Serialization cost (§6's binary-array mechanism).
+        api.charge_compute(
+            ComputeKind::FlTask,
+            SimDuration::from_micros(5 + weights.len() as u64 / 100),
+        );
+        api.broadcast_expecting_local(topic, round, FlData::model(&weights), local.is_some());
+        if let Some((update, delay)) = local {
+            api.contribute(topic, round, update, delay);
+        }
+        // Watchdog: if the whole aggregation wave is lost, move on.
+        api.set_app_timer(config.round_timeout, app as u64 * 2 + 1);
+    }
+
+    /// Trains this node's replica of `app` from `weights` and produces its
+    /// (privacy-processed, compressed) contribution plus the simulated
+    /// training time; `None` when the node has no shard or was not
+    /// selected this round.
+    fn train_update(
+        &mut self,
+        api: &mut ForestApi<'_, '_, '_, FlData>,
+        app: usize,
+        round: u64,
+        weights_in: &[f32],
+    ) -> Option<(FlData, SimDuration)> {
+        let config = Arc::clone(&self.registry[app]);
+        let shard_len = self.shards.get(&app)?.len();
+        if shard_len == 0 {
+            return None;
+        }
+        if !config.selection.participates(
+            config.seed ^ config.salt,
+            round,
+            self.addr,
+            self.last_loss.get(&app).copied(),
+        ) {
+            return None;
+        }
+
+        // Real local training on the local shard.
+        let replica = self
+            .replicas
+            .entry(app)
+            .or_insert_with(|| Self::fresh_model(&config));
+        replica.from_weights(weights_in);
+        let shard = self.shards.get(&app).expect("shard checked above");
+        let mu = config.aggregation.mu();
+        let mut mean_loss = 0.0;
+        for _ in 0..config.local_epochs {
+            mean_loss = if mu > 0.0 {
+                replica.train_epoch(
+                    &shard.xs,
+                    &shard.ys,
+                    config.batch_size,
+                    config.lr,
+                    Some((mu, weights_in)),
+                )
+            } else {
+                replica.train_epoch(&shard.xs, &shard.ys, config.batch_size, config.lr, None)
+            };
+        }
+        self.last_loss.insert(app, mean_loss);
+        let mut weights = replica.to_weights();
+        totoro_ml::apply_privacy(config.privacy, &mut weights, api.rng());
+
+        // Charge the training time on the simulated clock.
+        let flops = replica.flops_per_sample() * (shard_len * config.local_epochs) as u64;
+        let me = api.addr();
+        let train_time = api.topology().profile(me).compute_time(flops);
+        api.charge_compute(ComputeKind::FlTask, train_time);
+        self.stats.updates_contributed += 1;
+
+        let mut update = ModelUpdate::from_client(&weights, shard_len as u64);
+        if config.privacy == totoro_ml::Privacy::SecureAggregation {
+            totoro_ml::apply_pairwise_masks(
+                &mut update.weighted,
+                self.addr,
+                &config.participant_list,
+                config.seed ^ config.salt,
+                round,
+            );
+        }
+        Some((FlData::update(update, config.compression), train_time))
+    }
+}
+
+impl ForestApp for FlEngine {
+    type Data = FlData;
+
+    fn on_model(
+        &mut self,
+        api: &mut ForestApi<'_, '_, '_, FlData>,
+        topic: Id,
+        round: u64,
+        data: &FlData,
+    ) -> Option<(FlData, SimDuration)> {
+        let app = self.app_of_topic(topic)?;
+        self.stats.models_received += 1;
+        let weights = data.values.clone();
+        self.train_update(api, app, round, &weights)
+    }
+
+    fn on_aggregated(
+        &mut self,
+        api: &mut ForestApi<'_, '_, '_, FlData>,
+        topic: Id,
+        round: u64,
+        data: FlData,
+        count: u64,
+    ) {
+        let Some(app) = self.app_of_topic(topic) else {
+            return;
+        };
+        let config = Arc::clone(&self.registry[app]);
+        // Evaluation cost at the master.
+        let eval_flops =
+            (config.test_set.len() as u64) * 2 * (Self::fresh_model(&config).num_params() as u64);
+        let me = api.addr();
+        let eval_time = api.topology().profile(me).compute_time(eval_flops);
+        let Some(master) = self.masters.get_mut(&app) else {
+            return; // Aggregate arrived after a master migration.
+        };
+        if master.done || round != master.round {
+            return; // Stale round (straggler flush from an earlier wave).
+        }
+        if master.curve.last().is_some_and(|p| p.round >= round) {
+            // The round already completed (e.g. a quorum cutoff); late
+            // straggler contributions are dropped, as in semi-synchronous
+            // FL. (FedAT-style staleness-weighted merging is future work.)
+            return;
+        }
+        let update = data.into_update();
+        // Secure aggregation: masks only cancel when the whole roster
+        // contributed; an incomplete round would apply masked noise to the
+        // model, so it is discarded instead.
+        let secure_and_incomplete = config.privacy == totoro_ml::Privacy::SecureAggregation
+            && (count as usize) < config.expected_participants;
+        if !secure_and_incomplete {
+            if let Some(avg) = update.finalize() {
+                master.model.from_weights(&avg);
+            }
+        }
+        api.charge_compute(ComputeKind::FlTask, eval_time);
+        let acc = accuracy(&master.model, &config.test_set);
+        let at = api.now() + eval_time;
+        master.curve.push(AccuracyPoint {
+            time_secs: at.as_secs_f64(),
+            round,
+            accuracy: acc,
+        });
+        self.stats.rounds_completed += 1;
+        if acc >= config.target_accuracy || round >= config.max_rounds {
+            master.done = true;
+        } else {
+            api.set_app_timer(config.round_pause, app as u64 * 2);
+        }
+    }
+
+    fn on_partial(
+        &mut self,
+        api: &mut ForestApi<'_, '_, '_, FlData>,
+        topic: Id,
+        round: u64,
+        count: u64,
+    ) {
+        // Semi-synchronous quorum: the master cuts the round as soon as
+        // enough leaf contributions are in.
+        let Some(app) = self.app_of_topic(topic) else {
+            return;
+        };
+        let config = &self.registry[app];
+        if let RoundPolicy::SemiSynchronous { quorum } = config.round_policy {
+            let is_master = self.masters.get(&app).is_some_and(|m| !m.done && m.round == round);
+            if is_master {
+                let expected = config.expected_participants.max(1) as f64;
+                if count as f64 >= quorum * expected {
+                    api.request_flush(topic, round);
+                }
+            }
+        }
+    }
+
+    fn on_became_root(&mut self, api: &mut ForestApi<'_, '_, '_, FlData>, topic: Id) {
+        let Some(app) = self.app_of_topic(topic) else {
+            return; // A tree whose app we do not know (not an FL topic).
+        };
+        if self.masters.contains_key(&app) {
+            return;
+        }
+        let config = &self.registry[app];
+        // Master takeover warm-starts from the local replica when this
+        // node trained the app before; otherwise from the seed init.
+        let model = self
+            .replicas
+            .get(&app)
+            .cloned()
+            .unwrap_or_else(|| Self::fresh_model(config));
+        self.masters.insert(
+            app,
+            MasterState {
+                app,
+                model,
+                round: 0,
+                curve: Vec::new(),
+                started_at: api.now(),
+                done: false,
+            },
+        );
+        // Give the tree time to assemble before round 1.
+        api.set_app_timer(config.round_pause, app as u64 * 2);
+    }
+
+    fn on_timer(&mut self, api: &mut ForestApi<'_, '_, '_, FlData>, token: u64) {
+        let app = (token / 2) as usize;
+        if app >= self.registry.len() {
+            return;
+        }
+        if token.is_multiple_of(2) {
+            // Scheduled next round.
+            self.start_round(api, app);
+        } else {
+            // Watchdog: only fire when the current round never completed.
+            let stalled = self.masters.get(&app).is_some_and(|m| {
+                !m.done && m.round > 0 && m.curve.last().map_or(0, |p| p.round) < m.round
+            });
+            if stalled {
+                self.start_round(api, app);
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let models: usize = self
+            .replicas
+            .values()
+            .chain(self.masters.values().map(|m| &m.model))
+            .map(|m| m.num_params() * 4)
+            .sum();
+        let shards: usize = self
+            .shards
+            .values()
+            .map(|s| s.len() * (s.dim() + 1) * 4)
+            .sum();
+        models + shards + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_maps_topics() {
+        let mut e = FlEngine::new(3);
+        let cfg = Arc::new(FlAppConfig::new(
+            "alpha",
+            vec![4, 8, 2],
+            Arc::new(Dataset::default()),
+        ));
+        let app = e.register_app(Arc::clone(&cfg));
+        assert_eq!(app, 0);
+        assert_eq!(e.app_of_topic(cfg.app_id()), Some(0));
+        assert_eq!(e.app_of_topic(Id::new(1)), None);
+        assert_eq!(e.num_apps(), 1);
+    }
+
+    #[test]
+    fn shard_installation() {
+        let mut e = FlEngine::new(0);
+        let cfg = Arc::new(FlAppConfig::new(
+            "beta",
+            vec![4, 8, 2],
+            Arc::new(Dataset::default()),
+        ));
+        e.register_app(cfg);
+        e.install_shard(
+            0,
+            Dataset {
+                xs: vec![vec![0.0; 4]; 3],
+                ys: vec![0, 1, 0],
+                classes: 2,
+            },
+        );
+        assert!(e.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Role census over a running deployment (the Figure 5 measurements).
+//!
+//! Figure 5 studies how masters (tree roots), forwarders, and workers
+//! spread over the edge topology. These helpers read the forest state of
+//! every node and summarize it.
+
+use totoro_dht::Id;
+use totoro_pubsub::{Forest, ForestApp, ForestNode};
+use totoro_simnet::Simulator;
+
+/// How many of `topics`' trees are rooted at each node (Figure 5b).
+pub fn masters_per_node<F: ForestApp>(
+    sim: &Simulator<ForestNode<F>>,
+    topics: &[Id],
+) -> Vec<usize> {
+    let mut counts = vec![0usize; sim.len()];
+    for (i, count) in counts.iter_mut().enumerate() {
+        let forest: &Forest<F> = &sim.app(i).upper;
+        *count = topics
+            .iter()
+            .filter(|&&t| forest.state.membership(t).is_some_and(|m| m.is_root))
+            .count();
+    }
+    counts
+}
+
+/// Per-depth node counts of one tree (Figure 5d's branch distribution):
+/// `result[d]` = number of attached nodes at depth `d` (root = depth 0).
+pub fn level_census<F: ForestApp>(sim: &Simulator<ForestNode<F>>, topic: Id) -> Vec<usize> {
+    let mut by_depth: Vec<usize> = Vec::new();
+    for i in 0..sim.len() {
+        let forest: &Forest<F> = &sim.app(i).upper;
+        if let Some(m) = forest.state.membership(topic) {
+            if m.attached() && m.depth != u16::MAX {
+                let d = m.depth as usize;
+                if by_depth.len() <= d {
+                    by_depth.resize(d + 1, 0);
+                }
+                by_depth[d] += 1;
+            }
+        }
+    }
+    by_depth
+}
+
+/// Summary of one node's roles across all trees (any combination of
+/// master / aggregator / worker, §4.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoleCount {
+    /// Trees rooted here (master).
+    pub master: usize,
+    /// Trees where this node forwards/aggregates (interior).
+    pub aggregator: usize,
+    /// Trees where this node is a leaf subscriber (worker).
+    pub worker: usize,
+}
+
+/// Role counts for every node over `topics`.
+pub fn role_census<F: ForestApp>(
+    sim: &Simulator<ForestNode<F>>,
+    topics: &[Id],
+) -> Vec<RoleCount> {
+    (0..sim.len())
+        .map(|i| {
+            let forest: &Forest<F> = &sim.app(i).upper;
+            let mut rc = RoleCount::default();
+            for &t in topics {
+                if let Some(m) = forest.state.membership(t) {
+                    if m.is_root {
+                        rc.master += 1;
+                    } else if !m.children.is_empty() {
+                        rc.aggregator += 1;
+                    } else if m.subscriber && m.attached() {
+                        rc.worker += 1;
+                    }
+                }
+            }
+            rc
+        })
+        .collect()
+}
+
+/// Quantile of a sorted-able slice (nearest-rank). Returns 0 on empty.
+pub fn quantile(values: &[usize], q: f64) -> usize {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0)) * (v.len() - 1) as f64).round() as usize;
+    v[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let v = vec![5, 1, 3, 2, 4];
+        assert_eq!(quantile(&v, 0.0), 1);
+        assert_eq!(quantile(&v, 0.5), 3);
+        assert_eq!(quantile(&v, 1.0), 5);
+        assert_eq!(quantile(&[], 0.5), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Virtual-node mapping for heterogeneous hardware (§7.5).
+//!
+//! "We make resource-rich physical edge nodes map to more 'P2P nodes' ...
+//! physical nodes with 4 and 8 CPU cores can serve as 2 and 3 logical P2P
+//! nodes in the DHT-based P2P overlay, respectively." A physical node with
+//! `c` cores hosts `log2(c)` logical nodes (2→1, 4→2, 8→3), each logical
+//! node inheriting the physical location and an equal share of bandwidth
+//! and compute.
+
+use totoro_simnet::{GeoPoint, NodeProfile, Topology};
+
+/// The result of expanding a physical topology into logical P2P nodes.
+#[derive(Clone, Debug)]
+pub struct VirtualMapping {
+    /// `physical_of[l]` = the physical node hosting logical node `l`.
+    pub physical_of: Vec<usize>,
+    /// The expanded logical topology to run the overlay on.
+    pub logical: Topology,
+}
+
+/// Number of logical nodes a physical node with `cores` cores hosts.
+pub fn logical_count(cores: u32) -> usize {
+    (32 - cores.max(2).leading_zeros()) as usize - 1
+}
+
+/// Expands `physical` into a logical topology by the core rule.
+pub fn expand_by_cores(
+    physical: &Topology,
+    latency: totoro_simnet::LatencyModel,
+) -> VirtualMapping {
+    let mut points: Vec<GeoPoint> = Vec::new();
+    let mut regions = Vec::new();
+    let mut profiles: Vec<NodeProfile> = Vec::new();
+    let mut physical_of = Vec::new();
+    for p in 0..physical.len() {
+        let prof = physical.profile(p);
+        let k = logical_count(prof.cores);
+        for _ in 0..k {
+            points.push(physical.point(p));
+            regions.push(physical.region(p));
+            profiles.push(NodeProfile {
+                bandwidth_bps: (prof.bandwidth_bps / k as u64).max(1),
+                compute_speed: prof.compute_speed / k as f64,
+                cores: (prof.cores / k as u32).max(1),
+            });
+            physical_of.push(p);
+        }
+    }
+    VirtualMapping {
+        physical_of,
+        logical: Topology::from_parts(points, regions, profiles, latency),
+    }
+}
+
+/// Sums a per-logical-node metric back onto physical nodes.
+pub fn fold_to_physical(mapping: &VirtualMapping, per_logical: &[u64], physical_len: usize) -> Vec<u64> {
+    let mut out = vec![0u64; physical_len];
+    for (l, &v) in per_logical.iter().enumerate() {
+        out[mapping.physical_of[l]] += v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use totoro_simnet::LatencyModel;
+
+    #[test]
+    fn core_rule_matches_paper_example() {
+        assert_eq!(logical_count(2), 1);
+        assert_eq!(logical_count(4), 2);
+        assert_eq!(logical_count(8), 3);
+        assert_eq!(logical_count(16), 4);
+        // Degenerate hardware still hosts one logical node.
+        assert_eq!(logical_count(1), 1);
+    }
+
+    #[test]
+    fn expansion_replicates_rich_nodes() {
+        let mut phys = Topology::uniform(3, 100, 100);
+        phys.set_profile(
+            1,
+            NodeProfile {
+                cores: 4,
+                ..NodeProfile::default()
+            },
+        );
+        phys.set_profile(
+            2,
+            NodeProfile {
+                cores: 8,
+                ..NodeProfile::default()
+            },
+        );
+        let mapping = expand_by_cores(
+            &phys,
+            LatencyModel::Uniform {
+                min_us: 100,
+                max_us: 100,
+            },
+        );
+        // 1 + 2 + 3 logical nodes.
+        assert_eq!(mapping.logical.len(), 6);
+        assert_eq!(mapping.physical_of, vec![0, 1, 1, 2, 2, 2]);
+        // Shares divide resources.
+        let l_of_2: Vec<usize> = (0..6).filter(|&l| mapping.physical_of[l] == 2).collect();
+        for &l in &l_of_2 {
+            let p = mapping.logical.profile(l);
+            assert!(p.compute_speed < 0.4);
+            assert!(p.bandwidth_bps <= NodeProfile::default().bandwidth_bps / 3);
+        }
+    }
+
+    #[test]
+    fn fold_back_sums_logical_metrics() {
+        let mut phys = Topology::uniform(2, 1, 1);
+        phys.set_profile(
+            1,
+            NodeProfile {
+                cores: 4,
+                ..NodeProfile::default()
+            },
+        );
+        let mapping = expand_by_cores(
+            &phys,
+            LatencyModel::Uniform {
+                min_us: 1,
+                max_us: 1,
+            },
+        );
+        let folded = fold_to_physical(&mapping, &[5, 7, 9], 2);
+        assert_eq!(folded, vec![5, 16]);
+    }
+
+    #[test]
+    fn rich_nodes_attract_more_load() {
+        // More logical nodes = more id-space coverage = more expected work:
+        // verified structurally by counting logical nodes per physical.
+        let mut phys = Topology::uniform(4, 1, 1);
+        phys.set_profile(
+            0,
+            NodeProfile {
+                cores: 8,
+                ..NodeProfile::default()
+            },
+        );
+        let mapping = expand_by_cores(
+            &phys,
+            LatencyModel::Uniform {
+                min_us: 1,
+                max_us: 1,
+            },
+        );
+        let counts: Vec<usize> = (0..4)
+            .map(|p| mapping.physical_of.iter().filter(|&&x| x == p).count())
+            .collect();
+        assert_eq!(counts, vec![3, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,164 @@
+//! SHA-1 and id derivation.
+//!
+//! AppIds are "the cryptographic hash of the application's textual name, the
+//! creator's public key, and a random salt ... computed using the collision
+//! resistant SHA-1 hash function, ensuring a uniform distribution of AppIds"
+//! (§4.3). SHA-1 is implemented here from the FIPS 180-1 specification to
+//! avoid an external dependency; collision resistance is irrelevant for the
+//! simulation — only the uniform spread of digests matters.
+
+use crate::id::Id;
+
+/// Computes the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+
+    // Pad: 0x80, zeros, then the 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    for block in msg.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Derives a 128-bit id from arbitrary bytes: the first 16 bytes of the
+/// SHA-1 digest.
+pub fn id_from_bytes(data: &[u8]) -> Id {
+    let digest = sha1(data);
+    let mut b = [0u8; 16];
+    b.copy_from_slice(&digest[..16]);
+    Id::new(u128::from_be_bytes(b))
+}
+
+/// Derives an application id (tree topic / rendezvous key) from the
+/// application's textual name, creator key, and salt — the §4.3 recipe.
+pub fn app_id(name: &str, creator_key: &str, salt: u64) -> Id {
+    let mut data = Vec::with_capacity(name.len() + creator_key.len() + 9);
+    data.extend_from_slice(name.as_bytes());
+    data.push(0);
+    data.extend_from_slice(creator_key.as_bytes());
+    data.push(0);
+    data.extend_from_slice(&salt.to_be_bytes());
+    id_from_bytes(&data)
+}
+
+/// Derives a node id from a stable node identity (e.g. "ip:port").
+pub fn node_id(identity: &str) -> Id {
+    id_from_bytes(identity.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha1_known_vectors() {
+        // FIPS 180-1 / RFC 3174 test vectors.
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn sha1_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn sha1_handles_block_boundaries() {
+        // Lengths straddling the 55/56/63/64-byte padding boundaries must
+        // all produce distinct digests without panicking.
+        let mut seen = std::collections::BTreeSet::new();
+        for len in 50..70 {
+            let data = vec![0x5Au8; len];
+            assert!(seen.insert(sha1(&data)));
+        }
+    }
+
+    #[test]
+    fn app_ids_are_distinct_and_stable() {
+        let a = app_id("activity-recognition", "alice-pk", 1);
+        let b = app_id("activity-recognition", "alice-pk", 2);
+        let c = app_id("fitness-tracking", "alice-pk", 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, app_id("activity-recognition", "alice-pk", 1));
+    }
+
+    #[test]
+    fn app_id_fields_do_not_collide_by_concatenation() {
+        // ("ab","c") must differ from ("a","bc") thanks to separators.
+        assert_ne!(app_id("ab", "c", 0), app_id("a", "bc", 0));
+    }
+
+    #[test]
+    fn ids_spread_uniformly() {
+        // Hash 4096 node identities and check the top 4 bits are roughly
+        // uniform (chi-square-ish sanity bound).
+        let mut buckets = [0usize; 16];
+        for i in 0..4096 {
+            let id = node_id(&format!("10.0.{}.{}:4160", i / 256, i % 256));
+            buckets[(id.raw() >> 124) as usize] += 1;
+        }
+        for &count in &buckets {
+            assert!((156..=356).contains(&count), "skewed bucket: {count}");
+        }
+    }
+}

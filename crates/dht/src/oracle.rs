@@ -1,0 +1,381 @@
+//! Bulk overlay construction and implicit routing.
+//!
+//! The paper emulates up to 100k nodes and argues O(log N) hops "with
+//! millions of nodes". Replaying hundreds of thousands of protocol-level
+//! joins is possible but wasteful when an experiment only needs a
+//! *converged* overlay; this module constructs the exact post-convergence
+//! routing state directly from the global id list ("omniscient"
+//! construction), and additionally evaluates greedy routes over an
+//! *implicit* perfect overlay without materializing any tables at all —
+//! which scales hop-count measurements to millions of ids.
+//!
+//! Oracle construction is a measurement device only: protocol-level join,
+//! maintenance, and repair are implemented in [`crate::node`] and tested
+//! against this oracle for agreement.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::id::{closest_on_ring, Id, ID_BITS};
+use crate::state::{DhtConfig, DhtState};
+use crate::table::Contact;
+
+/// Generates `n` distinct random ids.
+pub fn random_ids(n: usize, rng: &mut StdRng) -> Vec<Id> {
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < n {
+        set.insert(Id::new(rng.gen::<u128>()));
+    }
+    set.into_iter().collect()
+}
+
+/// Generates ids whose zone prefix encodes the given zone of each node
+/// (multi-ring layout, §4.2) and whose suffix is random.
+pub fn ids_for_zones(zones: &[u16], zone_bits: u32, rng: &mut StdRng) -> Vec<Id> {
+    let mut seen = std::collections::BTreeSet::new();
+    zones
+        .iter()
+        .map(|&z| loop {
+            let suffix: u128 = rng.gen::<u128>() & (u128::MAX >> zone_bits.min(127));
+            let id = Id::compose(u64::from(z), zone_bits, suffix);
+            if seen.insert(id) {
+                break id;
+            }
+        })
+        .collect()
+}
+
+/// The range of raw id values matching `my_id`'s first `row` digits with
+/// digit `row` replaced by `col`; `None` when the row is beyond id width.
+fn slot_range(my_id: Id, row: u32, col: u32, b: u32) -> Option<(u128, u128)> {
+    let start_bit = row * b;
+    if start_bit >= ID_BITS {
+        return None;
+    }
+    let width = b.min(ID_BITS - start_bit);
+    if col >= (1 << width) {
+        return None;
+    }
+    let shift = ID_BITS - start_bit - width;
+    let high_mask = if start_bit == 0 {
+        0
+    } else {
+        !(u128::MAX >> start_bit)
+    };
+    let low = (my_id.raw() & high_mask) | (u128::from(col) << shift);
+    let high = low
+        | (if shift == 0 {
+            0
+        } else {
+            (1u128 << shift) - 1
+        });
+    Some((low, high))
+}
+
+/// Builds the fully converged routing state for every node.
+///
+/// `ids` must be unique (any order); node `i`'s identifier is `ids[i]` and
+/// its network address is `i`.
+pub fn build_states(ids: &[Id], config: DhtConfig) -> Vec<DhtState> {
+    build_states_inner(ids, config, None)
+}
+
+/// Like [`build_states`], with Pastry's *proximity neighbor selection*:
+/// when several nodes qualify for a routing-table slot, the one with the
+/// lowest RTT to the owner is chosen (the locality property Totoro's
+/// multi-ring design builds on — nearby hops early in a route keep total
+/// route stretch low). Also fills neighborhood sets by measured RTT.
+pub fn build_states_with_proximity(
+    ids: &[Id],
+    config: DhtConfig,
+    topology: &totoro_simnet::Topology,
+) -> Vec<DhtState> {
+    build_states_inner(ids, config, Some(topology))
+}
+
+fn build_states_inner(
+    ids: &[Id],
+    config: DhtConfig,
+    topology: Option<&totoro_simnet::Topology>,
+) -> Vec<DhtState> {
+    let n = ids.len();
+    // Ring order with original addresses preserved.
+    let mut ring: Vec<(Id, usize)> = ids.iter().copied().zip(0..n).collect();
+    ring.sort_unstable();
+    assert!(
+        ring.windows(2).all(|w| w[0].0 < w[1].0),
+        "ids must be unique"
+    );
+    let pos_of_addr = {
+        let mut pos = vec![0usize; n];
+        for (p, &(_, addr)) in ring.iter().enumerate() {
+            pos[addr] = p;
+        }
+        pos
+    };
+    let b = config.base_bits;
+    let per_side = (config.leaf_set_size / 2).max(1);
+    let mut states = Vec::with_capacity(n);
+    for (addr, &my_id) in ids.iter().enumerate() {
+        let i = pos_of_addr[addr];
+        let mut st = DhtState::new(my_id, addr, config);
+        // Leaf set: ring neighbors on each side.
+        for k in 1..=per_side.min(n.saturating_sub(1)) {
+            let right = (i + k) % n;
+            let left = (i + n - k) % n;
+            st.leaf_set.consider(Contact {
+                id: ring[right].0,
+                addr: ring[right].1,
+            });
+            if left != right {
+                st.leaf_set.consider(Contact {
+                    id: ring[left].0,
+                    addr: ring[left].1,
+                });
+            }
+        }
+        // Routing table rows, stopping once this node is alone under its
+        // prefix (all deeper rows are necessarily empty).
+        'rows: for row in 0..Id::num_digits(b) {
+            let my_digit = my_id.digit(row, b);
+            for col in 0..(1u32 << b) {
+                if col == my_digit {
+                    continue;
+                }
+                if let Some((low, high)) = slot_range(my_id, row, col, b) {
+                    let lo = ring.partition_point(|x| x.0.raw() < low);
+                    let hi = ring.partition_point(|x| x.0.raw() <= high);
+                    if lo >= n || ring[lo].0.raw() > high {
+                        continue;
+                    }
+                    let pick = match topology {
+                        // Proximity neighbor selection: the candidate with
+                        // the lowest RTT to the owner (bounded scan keeps
+                        // construction O(n log n)-ish).
+                        Some(topo) => ring[lo..hi]
+                            .iter()
+                            .take(16)
+                            .min_by_key(|&&(_, a)| topo.rtt(addr, a).as_micros())
+                            .copied()
+                            .expect("non-empty range"),
+                        None => ring[lo],
+                    };
+                    st.routing_table.consider(Contact {
+                        id: pick.0,
+                        addr: pick.1,
+                    });
+                }
+            }
+            // Alone under the first `row + 1` digits?
+            if let Some((low, high)) = slot_range(my_id, row, my_digit, b) {
+                let lo = ring.partition_point(|x| x.0.raw() < low);
+                let hi = ring.partition_point(|x| x.0.raw() <= high);
+                if hi - lo <= 1 {
+                    break 'rows;
+                }
+            }
+        }
+        // Two-level fingers from the leaf+table contacts plus a sample of
+        // ring positions (cheap but sufficient for inter-zone coverage).
+        let contacts: Vec<Contact> = st
+            .routing_table
+            .contacts()
+            .chain(st.leaf_set.members())
+            .collect();
+        for c in contacts {
+            st.two_level.consider(c);
+            if let Some(topo) = topology {
+                st.neighborhood
+                    .consider(c, topo.rtt(addr, c.addr).as_micros());
+            }
+        }
+        states.push(st);
+    }
+    states
+}
+
+/// Greedy prefix routing over an *implicit* perfect overlay: returns the
+/// number of hops from `ids[from]` to the node numerically closest to
+/// `key`. `ids` must be sorted. No routing tables are materialized, so this
+/// scales to millions of ids.
+pub fn implicit_route_hops(ids: &[Id], from: usize, key: Id, b: u32) -> u32 {
+    let dest = closest_on_ring(ids, key);
+    let mut cur = from;
+    let mut hops = 0;
+    while cur != dest {
+        let cur_id = ids[cur];
+        let row = cur_id.shared_prefix_digits(key, b);
+        // Ideal prefix step: any node matching one more digit of the key.
+        let next = (row < Id::num_digits(b))
+            .then(|| {
+                let col = key.digit(row, b);
+                slot_range(cur_id, row, col, b)
+            })
+            .flatten()
+            .and_then(|(low, high)| {
+                let lo = ids.partition_point(|x| x.raw() < low);
+                (lo < ids.len() && ids[lo].raw() <= high).then_some(lo)
+            });
+        cur = match next {
+            Some(next) => next,
+            // Leaf-set step: jump straight to the destination, exactly what
+            // a saturated leaf set resolves in one hop.
+            None => dest,
+        };
+        hops += 1;
+        debug_assert!(hops <= 2 * ID_BITS, "implicit routing diverged");
+    }
+    hops
+}
+
+/// Spawns a simulator over `topology` whose nodes run converged DHT state
+/// (oracle-built) with upper layers produced by `mk_upper`.
+///
+/// Node ids are generated deterministically from `seed` (or pass explicit
+/// `ids` in any order; `ids[i]` is node `i`'s identifier). Returns the
+/// simulator and the per-address id list.
+pub fn spawn_overlay<U: crate::node::UpperLayer>(
+    topology: totoro_simnet::Topology,
+    seed: u64,
+    config: DhtConfig,
+    ids: Option<Vec<Id>>,
+    mut mk_upper: impl FnMut(usize) -> U,
+) -> (totoro_simnet::Simulator<crate::node::DhtNode<U>>, Vec<Id>) {
+    let n = topology.len();
+    let ids = ids.unwrap_or_else(|| {
+        let mut rng = totoro_simnet::sub_rng(seed, "overlay-ids");
+        random_ids(n, &mut rng)
+    });
+    assert_eq!(ids.len(), n, "one id per topology node");
+    let states = std::cell::RefCell::new(
+        build_states_with_proximity(&ids, config, &topology)
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<_>>(),
+    );
+    let sim = totoro_simnet::Simulator::new(topology, seed, |i| {
+        let st = states.borrow_mut()[i].take().expect("state built once");
+        let mut node = crate::node::DhtNode::new(ids[i], i, config, None, mk_upper(i));
+        node.state = st;
+        node.set_joined();
+        node
+    });
+    (sim, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{next_hop, NextHop};
+    use totoro_simnet::sub_rng;
+
+    #[test]
+    fn random_ids_are_sorted_unique() {
+        let mut rng = sub_rng(1, "oracle");
+        let ids = random_ids(500, &mut rng);
+        assert_eq!(ids.len(), 500);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn ids_for_zones_encode_zone_prefix() {
+        let mut rng = sub_rng(2, "oracle");
+        let zones = vec![0u16, 3, 7, 3, 1];
+        let ids = ids_for_zones(&zones, 8, &mut rng);
+        for (id, &z) in ids.iter().zip(&zones) {
+            assert_eq!(id.zone(8), u64::from(z));
+        }
+    }
+
+    #[test]
+    fn slot_range_covers_exactly_matching_prefix() {
+        let me = Id::new(0xAB00_0000_0000_0000_0000_0000_0000_0000);
+        let (low, high) = slot_range(me, 1, 0xC, 4).unwrap();
+        assert_eq!(low, 0xAC00_0000_0000_0000_0000_0000_0000_0000);
+        assert_eq!(high, 0xACFF_FFFF_FFFF_FFFF_FFFF_FFFF_FFFF_FFFF);
+        assert!(slot_range(me, 32, 0, 4).is_none());
+    }
+
+    #[test]
+    fn bulk_states_route_to_global_closest() {
+        let mut rng = sub_rng(3, "oracle");
+        let ids = random_ids(256, &mut rng);
+        let states = build_states(&ids, DhtConfig::default());
+        for trial in 0..40 {
+            let key = Id::new(rng.gen::<u128>());
+            let mut cur = trial % ids.len();
+            let mut hops = 0;
+            loop {
+                match next_hop(&states[cur], key) {
+                    NextHop::Deliver => break,
+                    NextHop::Forward(c) => cur = c.addr,
+                }
+                hops += 1;
+                assert!(hops < 64, "diverged");
+            }
+            assert_eq!(cur, closest_on_ring(&ids, key), "wrong destination");
+        }
+    }
+
+    #[test]
+    fn bulk_states_hops_are_logarithmic() {
+        let mut rng = sub_rng(4, "oracle");
+        let ids = random_ids(1_024, &mut rng);
+        let states = build_states(&ids, DhtConfig::default());
+        let mut total_hops = 0u32;
+        let trials = 100;
+        for trial in 0..trials {
+            let key = Id::new(rng.gen::<u128>());
+            let mut cur = trial % ids.len();
+            let mut hops = 0;
+            loop {
+                match next_hop(&states[cur], key) {
+                    NextHop::Deliver => break,
+                    NextHop::Forward(c) => cur = c.addr,
+                }
+                hops += 1;
+            }
+            total_hops += hops;
+        }
+        let mean = f64::from(total_hops) / trials as f64;
+        // ceil(log_16(1024)) = 3; allow slack for leaf-set last steps.
+        assert!(mean <= 4.5, "mean hops too high: {mean}");
+    }
+
+    #[test]
+    fn implicit_routing_matches_destination_and_log_bound() {
+        let mut rng = sub_rng(5, "oracle");
+        let ids = random_ids(4_096, &mut rng);
+        for trial in 0..50 {
+            let key = Id::new(rng.gen::<u128>());
+            let hops = implicit_route_hops(&ids, trial % ids.len(), key, 4);
+            // log_16(4096) = 3, plus at most one leaf hop.
+            assert!(hops <= 5, "hops = {hops}");
+        }
+    }
+
+    #[test]
+    fn implicit_routing_zero_hops_when_source_is_destination() {
+        let mut rng = sub_rng(6, "oracle");
+        let ids = random_ids(64, &mut rng);
+        let key = ids[10];
+        assert_eq!(implicit_route_hops(&ids, 10, key, 4), 0);
+    }
+
+    #[test]
+    fn leaf_sets_hold_ring_neighbors() {
+        let mut rng = sub_rng(7, "oracle");
+        let ids = random_ids(100, &mut rng);
+        let states = build_states(&ids, DhtConfig::default());
+        for (i, st) in states.iter().enumerate() {
+            assert_eq!(
+                st.leaf_set.successor().map(|c| c.addr),
+                Some((i + 1) % ids.len())
+            );
+            assert_eq!(
+                st.leaf_set.predecessor().map(|c| c.addr),
+                Some((i + ids.len() - 1) % ids.len())
+            );
+        }
+    }
+}

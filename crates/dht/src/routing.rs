@@ -1,0 +1,218 @@
+//! The prefix-routing decision procedure.
+//!
+//! Pastry-style greedy routing (§4.2): a message for `key` is delivered to
+//! the live node whose id is numerically closest to `key`. Each step either
+//! (1) resolves within the leaf set, (2) follows the routing-table entry
+//! that extends the shared prefix by one digit, or (3) falls back to any
+//! known node that is strictly closer to the key without shortening the
+//! prefix — guaranteeing progress, hence termination, in
+//! `⌈log_{2^b} N⌉ + O(1)` expected hops.
+
+use crate::id::Id;
+use crate::state::DhtState;
+use crate::table::Contact;
+
+/// The routing decision for one hop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NextHop {
+    /// This node is (as far as it can tell) the numerically closest live
+    /// node: deliver locally.
+    Deliver,
+    /// Forward to this contact.
+    Forward(Contact),
+}
+
+/// Computes the next hop for `key` from `state`.
+pub fn next_hop(state: &DhtState, key: Id) -> NextHop {
+    next_hop_filtered(state, key, None)
+}
+
+/// Computes the next hop for a zone-restricted packet: only contacts inside
+/// `zone` are eligible forwarding targets, guaranteeing path convergence
+/// within the edge site (§4.2). The key itself must live in `zone`.
+pub fn next_hop_in_zone(state: &DhtState, key: Id, zone: u64) -> NextHop {
+    next_hop_filtered(state, key, Some(zone))
+}
+
+fn next_hop_filtered(state: &DhtState, key: Id, zone: Option<u64>) -> NextHop {
+    let me = state.id();
+    if key == me {
+        return NextHop::Deliver;
+    }
+    let zone_bits = state.config().zone_bits;
+    let in_zone =
+        |id: Id| -> bool { zone.is_none_or(|z| zone_bits == 0 || id.zone(zone_bits) == z) };
+
+    // (1) Leaf-set resolution: if the key falls inside the leaf-set arc, the
+    // closest eligible node in {leafs} ∪ {me} is the destination.
+    if state.leaf_set.covers(key) {
+        match state.leaf_set.closest_to(key) {
+            None => return NextHop::Deliver,
+            Some(c) if in_zone(c.id) => return NextHop::Forward(c),
+            Some(_) => {} // Closest leaf is foreign: fall through to (3).
+        }
+    }
+
+    // (2) Prefix step.
+    if let Some(c) = state.routing_table.entry_for(key) {
+        if in_zone(c.id) {
+            return NextHop::Forward(c);
+        }
+    }
+
+    // (3) Rare case: no eligible entry — take any known eligible contact
+    // that shares at least as long a prefix with the key and is strictly
+    // numerically closer.
+    let b = state.routing_table.base_bits();
+    let my_prefix = me.shared_prefix_digits(key, b);
+    let my_dist = me.ring_distance(key);
+    let best = state
+        .known_contacts()
+        .filter(|c| in_zone(c.id))
+        .filter(|c| c.id.shared_prefix_digits(key, b) >= my_prefix)
+        .filter(|c| {
+            let d = c.id.ring_distance(key);
+            d < my_dist || (d == my_dist && c.id < me)
+        })
+        .min_by_key(|c| (c.id.ring_distance(key), c.id));
+    match best {
+        Some(c) => NextHop::Forward(c),
+        None => NextHop::Deliver,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{DhtConfig, DhtState};
+
+    fn mk_state(id: u128, b: u32) -> DhtState {
+        DhtState::new(
+            Id::new(id),
+            0,
+            DhtConfig {
+                base_bits: b,
+                leaf_set_size: 8,
+                neighborhood_size: 4,
+                zone_bits: 0,
+            },
+        )
+    }
+
+    fn c(id: u128, addr: usize) -> Contact {
+        Contact {
+            id: Id::new(id),
+            addr,
+        }
+    }
+
+    #[test]
+    fn delivers_to_self_for_own_id() {
+        let state = mk_state(500, 4);
+        assert_eq!(next_hop(&state, Id::new(500)), NextHop::Deliver);
+    }
+
+    #[test]
+    fn empty_state_delivers_everything() {
+        let state = mk_state(500, 4);
+        assert_eq!(next_hop(&state, Id::new(12345)), NextHop::Deliver);
+    }
+
+    #[test]
+    fn leaf_set_resolves_nearby_keys() {
+        let mut state = mk_state(1_000, 4);
+        state.add_contact(c(900, 1), None);
+        state.add_contact(c(1_100, 2), None);
+        assert_eq!(next_hop(&state, Id::new(920)), NextHop::Forward(c(900, 1)));
+        assert_eq!(next_hop(&state, Id::new(1_002)), NextHop::Deliver);
+    }
+
+    #[test]
+    fn prefix_step_extends_shared_prefix() {
+        let top = 124;
+        let me = 0x1u128 << top;
+        let mut state = mk_state(me, 4);
+        let peer = c(0x7u128 << top, 9);
+        state.add_contact(peer, None);
+        // Key far outside the leaf arc with first digit 7.
+        let key = Id::new(0x70_00_00u128 << (top - 20));
+        match next_hop(&state, key) {
+            NextHop::Forward(f) => assert_eq!(f, peer),
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fallback_moves_strictly_closer() {
+        // Routing table slot for the key's digit is empty, but a known node
+        // is closer: the fallback must pick it rather than deliver.
+        let me = 0u128;
+        let mut state = mk_state(me, 4);
+        // Fill the leaf set so its arc does NOT cover the key region.
+        for i in 1..=4u128 {
+            state.add_contact(c(i, i as usize), None);
+            state.add_contact(c(u128::MAX - i + 1, 100 + i as usize), None);
+        }
+        let key = Id::new(0x0123_4567u128 << 64);
+        // A contact close to the key but whose routing-table slot collides
+        // with an already-occupied one... construct directly: both contacts
+        // share digit prefix with key.
+        let near = c(0x0123_0000u128 << 64, 7);
+        state.routing_table.consider(near);
+        let hop = next_hop(&state, key);
+        assert_eq!(hop, NextHop::Forward(near));
+    }
+
+    #[test]
+    fn progress_is_monotone_under_greedy_routing() {
+        // Simulate routing across a random static ring where every node
+        // knows a perfect state; distance to the key must never increase.
+        use rand::Rng;
+        let mut rng = totoro_simnet::sub_rng(42, "routing-test");
+        let n = 64;
+        let b = 4;
+        let ids: Vec<Id> = (0..n).map(|_| Id::new(rng.gen::<u128>())).collect();
+        let mut states: Vec<DhtState> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let mut s = mk_state(id.raw(), b);
+                s.set_addr(i);
+                s
+            })
+            .collect();
+        for (i, st) in states.iter_mut().enumerate() {
+            for (j, &id) in ids.iter().enumerate() {
+                if i != j {
+                    st.add_contact(Contact { id, addr: j }, None);
+                }
+            }
+        }
+        for trial in 0..50 {
+            let key = Id::new(rng.gen::<u128>());
+            let mut cur = trial % n;
+            let mut hops = 0;
+            loop {
+                match next_hop(&states[cur], key) {
+                    NextHop::Deliver => break,
+                    NextHop::Forward(c) => {
+                        let before = ids[cur].ring_distance(key);
+                        let after = c.id.ring_distance(key);
+                        assert!(
+                            after < before || (after == before && c.id < ids[cur]),
+                            "hop failed to make progress"
+                        );
+                        cur = c.addr;
+                    }
+                }
+                hops += 1;
+                assert!(hops <= 2 * n, "routing did not terminate");
+            }
+            // Destination must be the globally closest node.
+            let mut sorted = ids.clone();
+            sorted.sort();
+            let want = sorted[crate::id::closest_on_ring(&sorted, key)];
+            assert_eq!(ids[cur], want, "delivered to a non-closest node");
+        }
+    }
+}

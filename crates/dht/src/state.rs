@@ -1,0 +1,215 @@
+//! Aggregate per-node DHT state.
+
+use serde::{Deserialize, Serialize};
+use totoro_simnet::NodeIdx;
+
+use crate::id::Id;
+use crate::table::{Contact, LeafSet, NeighborhoodSet, RoutingTable};
+use crate::two_level::TwoLevelTable;
+
+/// Static DHT parameters shared by all nodes of an overlay.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DhtConfig {
+    /// Routing base bits `b`; the routing table has `2^b` columns and trees
+    /// built over the overlay have fanout `2^b` (paper: 3, 4, or 5).
+    pub base_bits: u32,
+    /// Total leaf-set capacity (paper configures 24).
+    pub leaf_set_size: usize,
+    /// Neighborhood-set capacity.
+    pub neighborhood_size: usize,
+    /// Zone-prefix bits `m` of the multi-ring structure (0 = single ring).
+    pub zone_bits: u32,
+}
+
+impl Default for DhtConfig {
+    fn default() -> Self {
+        DhtConfig {
+            base_bits: 4,
+            leaf_set_size: 24,
+            neighborhood_size: 16,
+            zone_bits: 0,
+        }
+    }
+}
+
+impl DhtConfig {
+    /// Tree fanout implied by the routing base (`2^b`).
+    pub fn fanout(&self) -> usize {
+        1 << self.base_bits
+    }
+
+    /// Config preset with the given tree fanout (must be a power of two).
+    pub fn with_fanout(fanout: usize) -> Self {
+        assert!(fanout.is_power_of_two() && fanout >= 2);
+        DhtConfig {
+            base_bits: fanout.trailing_zeros(),
+            ..DhtConfig::default()
+        }
+    }
+}
+
+/// The complete routing state of one DHT node.
+#[derive(Clone, Debug)]
+pub struct DhtState {
+    id: Id,
+    addr: NodeIdx,
+    config: DhtConfig,
+    /// Prefix routing table (§4.2 "routing table").
+    pub routing_table: RoutingTable,
+    /// Ring neighbors (§4.2 "leaf set").
+    pub leaf_set: LeafSet,
+    /// Physically nearest peers (§4.2 "neighborhood set").
+    pub neighborhood: NeighborhoodSet,
+    /// Boundary-aware two-level finger table (§4.2 innovation 2).
+    pub two_level: TwoLevelTable,
+}
+
+impl DhtState {
+    /// Creates empty state for a node with identifier `id` at address
+    /// `addr`.
+    pub fn new(id: Id, addr: NodeIdx, config: DhtConfig) -> Self {
+        DhtState {
+            id,
+            addr,
+            config,
+            routing_table: RoutingTable::new(id, config.base_bits),
+            leaf_set: LeafSet::new(id, config.leaf_set_size),
+            neighborhood: NeighborhoodSet::new(config.neighborhood_size),
+            two_level: TwoLevelTable::new(id, config.zone_bits),
+        }
+    }
+
+    /// The node's ring identifier.
+    pub fn id(&self) -> Id {
+        self.id
+    }
+
+    /// The node's network address.
+    pub fn addr(&self) -> NodeIdx {
+        self.addr
+    }
+
+    /// Updates the network address (used by tests and bulk construction).
+    pub fn set_addr(&mut self, addr: NodeIdx) {
+        self.addr = addr;
+    }
+
+    /// The overlay configuration.
+    pub fn config(&self) -> DhtConfig {
+        self.config
+    }
+
+    /// This node as a [`Contact`].
+    pub fn contact(&self) -> Contact {
+        Contact {
+            id: self.id,
+            addr: self.addr,
+        }
+    }
+
+    /// The node's zone on the multi-ring structure.
+    pub fn zone(&self) -> u64 {
+        self.id.zone(self.config.zone_bits)
+    }
+
+    /// Offers a contact to every applicable data structure. `rtt_us`, when
+    /// known, also feeds the neighborhood set.
+    pub fn add_contact(&mut self, c: Contact, rtt_us: Option<u64>) {
+        if c.id == self.id {
+            return;
+        }
+        self.routing_table.consider(c);
+        self.leaf_set.consider(c);
+        self.two_level.consider(c);
+        if let Some(rtt) = rtt_us {
+            self.neighborhood.consider(c, rtt);
+        }
+    }
+
+    /// Removes a failed peer from every data structure. Returns `true` if
+    /// the peer was known anywhere.
+    pub fn remove_addr(&mut self, addr: NodeIdx) -> bool {
+        let a = self.routing_table.remove_addr(addr) > 0;
+        let b = self.leaf_set.remove_addr(addr);
+        let c = self.neighborhood.remove_addr(addr);
+        let d = self.two_level.remove_addr(addr) > 0;
+        a || b || c || d
+    }
+
+    /// Iterates over every known contact (all structures, may repeat).
+    pub fn known_contacts(&self) -> impl Iterator<Item = Contact> + '_ {
+        self.routing_table
+            .contacts()
+            .chain(self.leaf_set.members())
+            .chain(self.neighborhood.members())
+            .chain(self.two_level.contacts())
+    }
+
+    /// Approximate memory footprint of all routing state, in bytes
+    /// (Figure 13b).
+    pub fn memory_bytes(&self) -> usize {
+        self.routing_table.memory_bytes()
+            + self.leaf_set.memory_bytes()
+            + self.neighborhood.memory_bytes()
+            + self.two_level.memory_bytes()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_presets_match_paper() {
+        assert_eq!(DhtConfig::with_fanout(8).base_bits, 3);
+        assert_eq!(DhtConfig::with_fanout(16).base_bits, 4);
+        assert_eq!(DhtConfig::with_fanout(32).base_bits, 5);
+        assert_eq!(DhtConfig::with_fanout(32).fanout(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_fanout_panics() {
+        let _ = DhtConfig::with_fanout(12);
+    }
+
+    #[test]
+    fn add_contact_populates_all_structures() {
+        let mut s = DhtState::new(Id::new(1_000), 0, DhtConfig::default());
+        let c = Contact {
+            id: Id::new(2_000),
+            addr: 5,
+        };
+        s.add_contact(c, Some(300));
+        assert!(!s.routing_table.is_empty());
+        assert!(!s.leaf_set.is_empty());
+        assert!(!s.neighborhood.is_empty());
+        assert!(s.remove_addr(5));
+        assert!(!s.remove_addr(5));
+        assert!(s.leaf_set.is_empty());
+    }
+
+    #[test]
+    fn self_contact_is_ignored() {
+        let mut s = DhtState::new(Id::new(1), 0, DhtConfig::default());
+        s.add_contact(s.contact(), Some(1));
+        assert_eq!(s.known_contacts().count(), 0);
+    }
+
+    #[test]
+    fn memory_accounting_is_positive_and_grows() {
+        let mut s = DhtState::new(Id::new(1), 0, DhtConfig::default());
+        let base = s.memory_bytes();
+        for i in 2..100u128 {
+            s.add_contact(
+                Contact {
+                    id: Id::new(i << 64),
+                    addr: i as usize,
+                },
+                Some(i as u64),
+            );
+        }
+        assert!(s.memory_bytes() > base);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the DHT's core invariants.
+
+use proptest::prelude::*;
+use totoro_dht::{closest_on_ring, Id, LeafSet, RoutingTable};
+use totoro_dht::{Contact, DhtConfig, DhtState, NextHop};
+
+proptest! {
+    /// Digits decompose and recompose ids for every base.
+    #[test]
+    fn digits_round_trip(raw in any::<u128>(), b in 1u32..=8) {
+        let id = Id::new(raw);
+        let mut rebuilt = Id::ZERO;
+        for i in 0..Id::num_digits(b) {
+            rebuilt = rebuilt.with_digit(i, b, id.digit(i, b));
+        }
+        prop_assert_eq!(rebuilt, id);
+    }
+
+    /// Ring distance is symmetric, bounded by half the ring, and zero only
+    /// on equality.
+    #[test]
+    fn ring_distance_laws(a in any::<u128>(), b in any::<u128>()) {
+        let (x, y) = (Id::new(a), Id::new(b));
+        prop_assert_eq!(x.ring_distance(y), y.ring_distance(x));
+        prop_assert!(x.ring_distance(y) <= u128::MAX / 2 + 1);
+        prop_assert_eq!(x.ring_distance(y) == 0, a == b);
+    }
+
+    /// Shared prefix length is symmetric and consistent with digit equality.
+    #[test]
+    fn shared_prefix_laws(a in any::<u128>(), b in any::<u128>(), base in 1u32..=8) {
+        let (x, y) = (Id::new(a), Id::new(b));
+        let p = x.shared_prefix_digits(y, base);
+        prop_assert_eq!(p, y.shared_prefix_digits(x, base));
+        for i in 0..p.min(Id::num_digits(base)) {
+            prop_assert_eq!(x.digit(i, base), y.digit(i, base));
+        }
+        if p < Id::num_digits(base) && a != b {
+            prop_assert_ne!(x.digit(p, base), y.digit(p, base));
+        }
+    }
+
+    /// Zone compose/decompose round-trips for any zone width.
+    #[test]
+    fn zone_compose_round_trip(zone in any::<u64>(), suffix in any::<u128>(), bits in 1u32..=32) {
+        let zone = zone & ((1u64 << bits.min(63)) - 1);
+        let id = Id::compose(zone, bits, suffix);
+        prop_assert_eq!(id.zone(bits), zone);
+        prop_assert_eq!(id.suffix(bits), suffix & (u128::MAX >> bits));
+    }
+
+    /// `closest_on_ring` agrees with a brute-force scan.
+    #[test]
+    fn closest_matches_brute_force(
+        mut raws in prop::collection::btree_set(any::<u128>(), 1..40),
+        key in any::<u128>(),
+    ) {
+        let ids: Vec<Id> = raws.iter().copied().map(Id::new).collect();
+        let key = Id::new(key);
+        let got = ids[closest_on_ring(&ids, key)];
+        let best = ids
+            .iter()
+            .copied()
+            .min_by_key(|c| (c.ring_distance(key), *c))
+            .unwrap();
+        prop_assert_eq!(got, best);
+        let _ = &mut raws;
+    }
+
+    /// Leaf sets never exceed capacity and always retain the true nearest
+    /// clockwise/counterclockwise neighbors among those offered.
+    #[test]
+    fn leaf_set_retains_nearest(
+        me in any::<u128>(),
+        others in prop::collection::btree_set(any::<u128>(), 1..30),
+        capacity in 2usize..12,
+    ) {
+        let me = Id::new(me);
+        let mut ls = LeafSet::new(me, capacity);
+        let mut offered = Vec::new();
+        for (i, &o) in others.iter().enumerate() {
+            if o == me.raw() {
+                continue;
+            }
+            let c = Contact { id: Id::new(o), addr: i };
+            ls.consider(c);
+            offered.push(c);
+        }
+        prop_assert!(ls.len() <= capacity.max(2));
+        if !offered.is_empty() {
+            // The nearest clockwise neighbor among offered must be present.
+            let nearest_cw = offered
+                .iter()
+                .min_by_key(|c| me.clockwise_distance(c.id))
+                .unwrap();
+            let nearest_ccw = offered
+                .iter()
+                .min_by_key(|c| c.id.clockwise_distance(me))
+                .unwrap();
+            let members: Vec<Id> = ls.members().map(|c| c.id).collect();
+            prop_assert!(
+                members.contains(&nearest_cw.id) || members.contains(&nearest_ccw.id),
+                "both ring-adjacent neighbors evicted"
+            );
+        }
+    }
+
+    /// A routing-table entry always shares at least its row's prefix length
+    /// with the owner and never stores the owner itself.
+    #[test]
+    fn routing_table_respects_prefix_structure(
+        me in any::<u128>(),
+        others in prop::collection::btree_set(any::<u128>(), 1..50),
+        b in 2u32..=5,
+    ) {
+        let me = Id::new(me);
+        let mut t = RoutingTable::new(me, b);
+        for (i, &o) in others.iter().enumerate() {
+            t.consider(Contact { id: Id::new(o), addr: i });
+        }
+        for c in t.contacts() {
+            prop_assert_ne!(c.id, me);
+        }
+        // entry_for returns a contact matching strictly more digits of the
+        // key than the owner does, whenever it returns one.
+        for &o in others.iter().take(5) {
+            let key = Id::new(o);
+            if let Some(c) = t.entry_for(key) {
+                let mine = me.shared_prefix_digits(key, b);
+                let theirs = c.id.shared_prefix_digits(key, b);
+                prop_assert!(theirs > mine || c.id == key);
+            }
+        }
+    }
+
+    /// Greedy routing over a fully-informed random ring always terminates
+    /// at the globally closest node, within the log-ish hop budget.
+    #[test]
+    fn routing_terminates_at_closest(
+        raws in prop::collection::btree_set(any::<u128>(), 2..48),
+        key in any::<u128>(),
+    ) {
+        let ids: Vec<Id> = raws.iter().copied().map(Id::new).collect();
+        let key = Id::new(key);
+        let config = DhtConfig::default();
+        let mut states: Vec<DhtState> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| DhtState::new(id, i, config))
+            .collect();
+        for (i, st) in states.iter_mut().enumerate() {
+            for (j, &id) in ids.iter().enumerate() {
+                if i != j {
+                    st.add_contact(Contact { id, addr: j }, None);
+                }
+            }
+        }
+        let mut cur = 0usize;
+        let mut hops = 0;
+        loop {
+            match totoro_dht::next_hop(&states[cur], key) {
+                NextHop::Deliver => break,
+                NextHop::Forward(c) => cur = c.addr,
+            }
+            hops += 1;
+            prop_assert!(hops <= ids.len() as u32 + 34, "did not terminate");
+        }
+        prop_assert_eq!(ids[cur], ids[closest_on_ring(&ids, key)]);
+    }
+
+    /// SHA-1-derived app ids spread across the ring: two different salts
+    /// never collide (for practical purposes).
+    #[test]
+    fn app_ids_do_not_collide(name in "[a-z]{1,12}", s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(s1 != s2);
+        prop_assert_ne!(
+            totoro_dht::app_id(&name, "k", s1),
+            totoro_dht::app_id(&name, "k", s2)
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Secure aggregation by pairwise additive masking (§4.4: "application
+//! owners can specify various privacy techniques, such as ... secure
+//! aggregation").
+//!
+//! The classic Bonawitz-et-al. construction, in its dropout-free core: for
+//! every *pair* of participants `(i, j)` with `i < j`, both derive the same
+//! pseudorandom mask vector `m_ij` from a shared per-round seed; `i` adds
+//! `+m_ij` to its update and `j` adds `-m_ij`. Any single (even partially
+//! aggregated) update is statistically masked, but in the full sum every
+//! mask cancels — which composes perfectly with Totoro's in-network
+//! aggregation, since interior nodes only ever add vectors.
+//!
+//! Scope: the dropout-recovery protocol (secret-shared seeds) is not
+//! implemented, so a round only unmasks correctly when *all* participants
+//! contribute; the FL engine therefore discards rounds with missing
+//! contributions when this technique is active (matching the construction's
+//! requirement rather than silently training on masked noise).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Participant address (mirrors `totoro_simnet::NodeIdx` without coupling
+/// the ML substrate to the simulator).
+pub type NodeIdx = usize;
+
+/// Scale of the uniform mask values. Large relative to typical weights so a
+/// masked update reveals essentially nothing, yet small enough that the
+/// f32 cancellation error stays negligible for realistic cohort sizes.
+pub const MASK_SCALE: f32 = 64.0;
+
+/// Derives the shared mask seed for the unordered pair `{a, b}` in `round`
+/// of the app salted `app_seed`.
+fn pair_seed(app_seed: u64, round: u64, a: NodeIdx, b: NodeIdx) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let mut h = app_seed ^ round.wrapping_mul(0xD134_2543_DE82_EF95);
+    h = splitmix64(h ^ lo as u64);
+    splitmix64(h ^ (hi as u64).rotate_left(32))
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Expands a pair seed into a mask vector of length `dim`.
+fn mask_vector(seed: u64, dim: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..dim)
+        .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * MASK_SCALE)
+        .collect()
+}
+
+/// Adds participant `me`'s pairwise masks for `round` onto `update` in
+/// place. `participants` is the app's full participant list (every member
+/// must apply masks for cancellation to hold).
+pub fn apply_pairwise_masks(
+    update: &mut [f32],
+    me: NodeIdx,
+    participants: &[NodeIdx],
+    app_seed: u64,
+    round: u64,
+) {
+    for &other in participants {
+        if other == me {
+            continue;
+        }
+        let seed = pair_seed(app_seed, round, me, other);
+        let mask = mask_vector(seed, update.len());
+        if me < other {
+            for (u, m) in update.iter_mut().zip(&mask) {
+                *u += m;
+            }
+        } else {
+            for (u, m) in update.iter_mut().zip(&mask) {
+                *u -= m;
+            }
+        }
+    }
+}
+
+/// Upper bound on the residual cancellation error per coordinate after
+/// summing all `n` participants' masked updates (f32 rounding only).
+pub fn cancellation_tolerance(n: usize) -> f32 {
+    // Each of the n(n-1)/2 pairs contributes one +m and one -m; rounding
+    // error per add is ~MASK_SCALE * eps.
+    (n * n) as f32 * MASK_SCALE * f32::EPSILON * 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked_sum(participants: &[NodeIdx], updates: &[Vec<f32>], round: u64) -> Vec<f32> {
+        let dim = updates[0].len();
+        let mut sum = vec![0.0f32; dim];
+        for (&p, u) in participants.iter().zip(updates) {
+            let mut masked = u.clone();
+            apply_pairwise_masks(&mut masked, p, participants, 42, round);
+            for (s, x) in sum.iter_mut().zip(&masked) {
+                *s += x;
+            }
+        }
+        sum
+    }
+
+    #[test]
+    fn masks_cancel_in_the_full_sum() {
+        let participants: Vec<NodeIdx> = vec![3, 7, 11, 20, 21];
+        let updates: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..16).map(|k| (i * 16 + k) as f32 * 0.01).collect())
+            .collect();
+        let clear_sum: Vec<f32> = (0..16)
+            .map(|k| updates.iter().map(|u| u[k]).sum())
+            .collect();
+        let got = masked_sum(&participants, &updates, 9);
+        let tol = cancellation_tolerance(participants.len());
+        for (a, b) in got.iter().zip(&clear_sum) {
+            assert!((a - b).abs() <= tol.max(1e-3), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn single_masked_update_hides_the_values() {
+        let participants: Vec<NodeIdx> = (0..8).collect();
+        let update = vec![0.5f32; 32];
+        let mut masked = update.clone();
+        apply_pairwise_masks(&mut masked, 3, &participants, 1, 1);
+        // The masked vector looks nothing like the original: large spread.
+        let max_dev = masked
+            .iter()
+            .zip(&update)
+            .map(|(m, u)| (m - u).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_dev > MASK_SCALE / 4.0, "mask too weak: {max_dev}");
+    }
+
+    #[test]
+    fn pair_seeds_are_symmetric_and_round_dependent() {
+        assert_eq!(pair_seed(1, 5, 2, 9), pair_seed(1, 5, 9, 2));
+        assert_ne!(pair_seed(1, 5, 2, 9), pair_seed(1, 6, 2, 9));
+        assert_ne!(pair_seed(1, 5, 2, 9), pair_seed(2, 5, 2, 9));
+    }
+
+    #[test]
+    fn missing_participant_leaves_residue() {
+        // Dropping one contributor breaks cancellation — the property the
+        // engine relies on to detect and discard incomplete rounds.
+        let participants: Vec<NodeIdx> = vec![0, 1, 2, 3];
+        let updates: Vec<Vec<f32>> = vec![vec![0.0; 8]; 4];
+        let mut sum = [0.0f32; 8];
+        for (&p, u) in participants.iter().zip(&updates).take(3) {
+            let mut masked = u.clone();
+            apply_pairwise_masks(&mut masked, p, &participants, 7, 2);
+            for (s, x) in sum.iter_mut().zip(&masked) {
+                *s += x;
+            }
+        }
+        let residue = sum.iter().map(|x| x.abs()).fold(0.0f32, f32::max);
+        assert!(residue > 1.0, "residue unexpectedly small: {residue}");
+    }
+
+    #[test]
+    fn two_participants_round_trip() {
+        let participants = vec![5, 9];
+        let updates = vec![vec![1.0f32, -2.0], vec![0.5, 4.0]];
+        let got = masked_sum(&participants, &updates, 1);
+        assert!((got[0] - 1.5).abs() < 1e-3);
+        assert!((got[1] - 2.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,68 @@
+//! Weight (de)serialization.
+//!
+//! §6: "We introduced a serialization mechanism to convert trained models
+//! into binary arrays for low-cost communication over edge networks."
+//! Weights serialize as little-endian f32s prefixed with a length header.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Serializes a weight vector into a length-prefixed binary array.
+pub fn weights_to_bytes(w: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + w.len() * 4);
+    buf.put_u32_le(w.len() as u32);
+    for &x in w {
+        buf.put_f32_le(x);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a weight vector; `None` on malformed input.
+pub fn bytes_to_weights(mut b: Bytes) -> Option<Vec<f32>> {
+    if b.remaining() < 4 {
+        return None;
+    }
+    let n = b.get_u32_le() as usize;
+    if b.remaining() != n * 4 {
+        return None;
+    }
+    Some((0..n).map(|_| b.get_f32_le()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_bits() {
+        let w = vec![0.0, -1.5, f32::MIN_POSITIVE, 3.25e7, -0.0];
+        let b = weights_to_bytes(&w);
+        assert_eq!(b.len(), 4 + 5 * 4);
+        let back = bytes_to_weights(b).unwrap();
+        assert_eq!(w.len(), back.len());
+        for (a, b) in w.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_vector_round_trips() {
+        let b = weights_to_bytes(&[]);
+        assert_eq!(bytes_to_weights(b).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(bytes_to_weights(Bytes::from_static(&[1, 2])).is_none());
+        // Header says 10 floats but only 1 present.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(10);
+        buf.put_f32_le(1.0);
+        assert!(bytes_to_weights(buf.freeze()).is_none());
+        // Trailing garbage.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_f32_le(1.0);
+        buf.put_u8(0xFF);
+        assert!(bytes_to_weights(buf.freeze()).is_none());
+    }
+}

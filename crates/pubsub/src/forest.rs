@@ -1,0 +1,1147 @@
+//! The publish/subscribe forest: Scribe-style per-application dataflow
+//! trees over the DHT (§4.3).
+//!
+//! Each FL application owns a *topic* (its AppId). Subscribing routes a
+//! JOIN toward the topic key; the union of all JOIN paths forms the
+//! application's dataflow tree, rooted at the rendezvous node (the node
+//! whose id is numerically closest to the AppId) — which is thereby
+//! promoted to that application's *master*. Interior nodes act as
+//! forwarders/aggregators, leaves as workers. Model broadcast travels down
+//! the tree; gradient aggregation climbs it with in-network combining.
+
+use std::collections::HashMap;
+
+use totoro_dht::{Contact, DhtApi, Id, UpperLayer};
+use totoro_simnet::{ComputeKind, NodeIdx, SimDuration, SimTime};
+
+use crate::membership::{Membership, RepairEvent};
+use crate::msg::{TreeData, TreeMsg};
+
+/// Forest protocol parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ForestConfig {
+    /// Maximum children per node; joins beyond the cap are pushed down to
+    /// an existing child. `0` = uncapped (fanout then bounded naturally by
+    /// the routing base `2^b`).
+    pub fanout_cap: usize,
+    /// Forest maintenance tick (parent heartbeats, repair checks).
+    pub tick: SimDuration,
+    /// A parent silent for this many ticks triggers tree repair (§4.5).
+    pub parent_timeout_ticks: u32,
+    /// An unanswered JOIN is retried after this many ticks.
+    pub join_retry_ticks: u32,
+    /// Straggler cutoff: an interior node flushes a partial aggregate this
+    /// long after the round's broadcast even if children are missing.
+    pub agg_timeout: SimDuration,
+    /// Whether to log broadcast/aggregation events (costs memory; enable
+    /// for measurement runs).
+    pub record_events: bool,
+    /// Whether JOINs and tree traffic are restricted to the origin zone
+    /// (administrative isolation, §4.2).
+    pub zone_restricted: bool,
+    /// Bandit-based path replanning (§5, §6): when the KL-UCB-optimistic
+    /// estimate of the parent link's per-tick delivery cost exceeds this
+    /// threshold (in ticks), proactively re-JOIN through an alternative
+    /// route even though the parent is not yet declared dead. `None`
+    /// disables replanning (repair then relies on hard timeouts alone).
+    pub replan_cost_threshold: Option<f64>,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            fanout_cap: 0,
+            tick: SimDuration::from_secs(1),
+            parent_timeout_ticks: 3,
+            join_retry_ticks: 2,
+            agg_timeout: SimDuration::from_secs(60),
+            record_events: true,
+            zone_restricted: false,
+            replan_cost_threshold: Some(2.0),
+        }
+    }
+}
+
+/// A recorded model-dissemination receipt (for Figure 6a measurements).
+#[derive(Clone, Copy, Debug)]
+pub struct BroadcastEvent {
+    /// Tree topic.
+    pub topic: Id,
+    /// Round number.
+    pub round: u64,
+    /// When the broadcast arrived at this node.
+    pub at: SimTime,
+    /// This node's depth at receipt time.
+    pub depth: u16,
+}
+
+/// A recorded root-side aggregation completion (Figure 6b).
+#[derive(Clone, Copy, Debug)]
+pub struct AggEvent {
+    /// Tree topic.
+    pub topic: Id,
+    /// Round number.
+    pub round: u64,
+    /// When the root finished combining this round.
+    pub at: SimTime,
+    /// Leaf contributions aggregated.
+    pub count: u64,
+}
+
+/// Forest protocol counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ForestStats {
+    /// JOIN messages originated (including retries and repairs).
+    pub joins_sent: u64,
+    /// Children adopted.
+    pub children_adopted: u64,
+    /// JOINs pushed down due to the fanout cap.
+    pub pushdowns: u64,
+    /// Broadcast messages forwarded to children.
+    pub broadcasts_forwarded: u64,
+    /// Aggregates sent to a parent.
+    pub aggregates_sent: u64,
+    /// Contributions arriving after the round was flushed.
+    pub late_contributions: u64,
+    /// Rounds flushed by the straggler timeout rather than completion.
+    pub timeout_flushes: u64,
+    /// Proactive bandit-driven path replans (flaky parent avoided before a
+    /// hard failure was declared).
+    pub replans: u64,
+}
+
+/// Mutable forest-wide state of one node.
+#[derive(Debug)]
+pub struct ForestState<D> {
+    trees: HashMap<Id, Membership<D>>,
+    round_timers: HashMap<u64, (Id, u64)>,
+    next_round_token: u64,
+    pending_flush: Vec<(Id, u64)>,
+    /// Broadcast receipts (when `record_events`).
+    pub broadcast_log: Vec<BroadcastEvent>,
+    /// Root aggregation completions (when `record_events`).
+    pub agg_log: Vec<AggEvent>,
+    /// Tree-repair episodes (Figure 12).
+    pub repair_events: Vec<RepairEvent>,
+    /// Counters.
+    pub stats: ForestStats,
+}
+
+impl<D> ForestState<D> {
+    fn new() -> Self {
+        ForestState {
+            trees: HashMap::new(),
+            round_timers: HashMap::new(),
+            next_round_token: 1,
+            pending_flush: Vec::new(),
+            broadcast_log: Vec::new(),
+            agg_log: Vec::new(),
+            repair_events: Vec::new(),
+            stats: ForestStats::default(),
+        }
+    }
+
+    /// Membership in `topic`'s tree, if any.
+    pub fn membership(&self, topic: Id) -> Option<&Membership<D>> {
+        self.trees.get(&topic)
+    }
+
+    /// Iterates over all tree memberships.
+    pub fn memberships(&self) -> impl Iterator<Item = &Membership<D>> {
+        self.trees.values()
+    }
+
+    fn tree_mut(&mut self, topic: Id, now: SimTime) -> &mut Membership<D> {
+        self.trees
+            .entry(topic)
+            .or_insert_with(|| Membership::new(topic, now))
+    }
+
+    /// Approximate memory footprint (Figure 13b).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .trees
+                .values()
+                .map(Membership::memory_bytes)
+                .sum::<usize>()
+            + self.round_timers.len() * 24
+    }
+}
+
+/// This node's contact card, derived from the live DHT state.
+fn me_contact<D: TreeData>(dht: &DhtApi<'_, '_, TreeMsg<D>>) -> Contact {
+    Contact {
+        id: dht.id(),
+        addr: dht.addr(),
+    }
+}
+
+/// The interface the forest exposes to the application layer (the FL
+/// engine) during callbacks.
+pub struct ForestApi<'a, 'b, 'c, D: TreeData> {
+    /// Forest state (trees, logs, counters).
+    pub forest: &'a mut ForestState<D>,
+    /// The underlying DHT API.
+    pub dht: &'a mut DhtApi<'b, 'c, TreeMsg<D>>,
+    config: &'a ForestConfig,
+}
+
+impl<D: TreeData> ForestApi<'_, '_, '_, D> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.dht.now()
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> NodeIdx {
+        self.dht.addr()
+    }
+
+    /// This node's ring id.
+    pub fn id(&self) -> Id {
+        self.dht.id()
+    }
+
+    /// The shared network topology (read-only).
+    pub fn topology(&self) -> &totoro_simnet::Topology {
+        self.dht.topology()
+    }
+
+    /// The node's deterministic random stream.
+    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        self.dht.rng()
+    }
+
+    /// Arms an application timer (`token` surfaces in
+    /// [`ForestApp::on_timer`]).
+    pub fn set_app_timer(&mut self, delay: SimDuration, token: u64) {
+        self.dht.set_timer(delay, token * 2 + 1);
+    }
+
+    /// Charges simulated compute time.
+    pub fn charge_compute(&mut self, kind: ComputeKind, amount: SimDuration) {
+        self.dht.charge_compute(kind, amount);
+    }
+
+    /// Subscribes this node to `topic`'s tree (§4.3 `Subscribe(app_id)`):
+    /// routes a JOIN toward the topic key unless already attached.
+    pub fn subscribe(&mut self, topic: Id) {
+        let now = self.now();
+        let me = me_contact(self.dht);
+        let m = self.forest.tree_mut(topic, now);
+        m.subscriber = true;
+        if m.attached() || m.joining {
+            return;
+        }
+        m.joining = true;
+        m.join_sent = now;
+        self.forest.stats.joins_sent += 1;
+        self.dht.route(
+            topic,
+            TreeMsg::Join { topic, child: me },
+            self.config.zone_restricted,
+        );
+    }
+
+    /// Creates `topic`'s tree explicitly (§4.3 `CreateTree(app_id)`): the
+    /// creator subscribes, which routes the first JOIN and promotes the
+    /// rendezvous node to the application's master.
+    pub fn create_tree(&mut self, topic: Id) {
+        self.subscribe(topic);
+    }
+
+    /// Unsubscribes from `topic`: informs the parent and detaches (children
+    /// are kept; the node remains a forwarder while children exist).
+    pub fn unsubscribe(&mut self, topic: Id) {
+        let me_addr = self.dht.addr();
+        let now = self.now();
+        let m = self.forest.tree_mut(topic, now);
+        m.subscriber = false;
+        if m.children.is_empty() && !m.is_root {
+            if let Some(p) = m.parent.take() {
+                self.dht.send_direct(
+                    p.addr,
+                    TreeMsg::Leave {
+                        topic,
+                        child: me_addr,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Disseminates `data` to the whole tree (§4.3 `Broadcast`); call at
+    /// the application master (root). The round number sequences the
+    /// matching aggregation wave.
+    pub fn broadcast(&mut self, topic: Id, round: u64, data: D) {
+        self.broadcast_expecting_local(topic, round, data, false);
+    }
+
+    /// Like [`ForestApi::broadcast`], but when `expect_local` is set the
+    /// round additionally waits for one local contribution from this node
+    /// (a master that also acts as a worker, submitting its own update via
+    /// [`ForestApi::contribute`]).
+    pub fn broadcast_expecting_local(&mut self, topic: Id, round: u64, data: D, expect_local: bool) {
+        let now = self.now();
+        let record = self.config.record_events;
+        let agg_timeout = self.config.agg_timeout;
+        let m = self.forest.tree_mut(topic, now);
+        m.last_broadcast_round = Some(round);
+        m.prune_rounds(round.saturating_sub(8));
+        let children = m.children.clone();
+        let depth = if m.is_root { 0 } else { m.depth };
+        let ra = m.rounds.entry(round).or_default();
+        ra.expected = children.len() + usize::from(expect_local);
+        if record {
+            self.forest.broadcast_log.push(BroadcastEvent {
+                topic,
+                round,
+                at: now,
+                depth,
+            });
+        }
+        for c in &children {
+            self.dht.send_direct(
+                c.addr,
+                TreeMsg::Broadcast {
+                    topic,
+                    round,
+                    depth,
+                    data: data.clone(),
+                },
+            );
+        }
+        self.forest.stats.broadcasts_forwarded += children.len() as u64;
+        self.arm_round_timer(topic, round, agg_timeout);
+    }
+
+    /// Contributes a local update into `topic`'s round `round`, after a
+    /// simulated local compute time of `delay` (e.g. training). The
+    /// contribution loops through the local network stack so the delay is
+    /// honored by the event clock.
+    pub fn contribute(&mut self, topic: Id, round: u64, data: D, delay: SimDuration) {
+        let me = self.dht.addr();
+        self.dht.send_direct_after(
+            me,
+            TreeMsg::AggregateUp {
+                topic,
+                round,
+                count: 1,
+                data,
+            },
+            delay,
+        );
+    }
+
+    /// Requests an early flush of `topic`'s round `round` at this node —
+    /// the semi-synchronous mode's quorum cutoff: the application decides
+    /// (e.g. in `on_partial`) that enough contributions arrived and the
+    /// round should complete now rather than waiting for the stragglers.
+    /// Processed after the current callback returns.
+    pub fn request_flush(&mut self, topic: Id, round: u64) {
+        self.forest.pending_flush.push((topic, round));
+    }
+
+    /// Number of children in `topic`'s tree.
+    pub fn children_count(&self, topic: Id) -> usize {
+        self.forest
+            .membership(topic)
+            .map_or(0, |m| m.children.len())
+    }
+
+    /// Whether this node is `topic`'s root (application master).
+    pub fn is_root(&self, topic: Id) -> bool {
+        self.forest.membership(topic).is_some_and(|m| m.is_root)
+    }
+
+    fn arm_round_timer(&mut self, topic: Id, round: u64, delay: SimDuration) {
+        let token = self.forest.next_round_token;
+        self.forest.next_round_token += 1;
+        self.forest.round_timers.insert(token, (topic, round));
+        self.dht.set_timer(delay, token * 2);
+    }
+}
+
+/// Application behaviour layered on the forest (the FL engine implements
+/// this; it corresponds to the callbacks of Table 2).
+pub trait ForestApp: Sized {
+    /// The tree-borne data type (e.g. serialized model updates).
+    type Data: TreeData;
+
+    /// Invoked once at node start.
+    fn on_start(&mut self, api: &mut ForestApi<'_, '_, '_, Self::Data>) {
+        let _ = api;
+    }
+
+    /// `onBroadcast`: a model reached this subscriber. Return
+    /// `Some((update, compute_time))` to contribute to the round's
+    /// aggregation after `compute_time` of local training, or `None` to sit
+    /// the round out.
+    fn on_model(
+        &mut self,
+        api: &mut ForestApi<'_, '_, '_, Self::Data>,
+        topic: Id,
+        round: u64,
+        data: &Self::Data,
+    ) -> Option<(Self::Data, SimDuration)>;
+
+    /// `onAggregate` at the master: the round's aggregation completed (or
+    /// timed out) at the root with `count` leaf contributions.
+    fn on_aggregated(
+        &mut self,
+        api: &mut ForestApi<'_, '_, '_, Self::Data>,
+        topic: Id,
+        round: u64,
+        data: Self::Data,
+        count: u64,
+    );
+
+    /// `onAggregate` at interior nodes: a partial aggregate grew to `count`
+    /// contributions.
+    fn on_partial(
+        &mut self,
+        api: &mut ForestApi<'_, '_, '_, Self::Data>,
+        topic: Id,
+        round: u64,
+        count: u64,
+    ) {
+        let _ = (api, topic, round, count);
+    }
+
+    /// This node just became `topic`'s root — i.e. it was promoted to the
+    /// application's master (initial rendezvous or takeover after churn).
+    fn on_became_root(&mut self, api: &mut ForestApi<'_, '_, '_, Self::Data>, topic: Id) {
+        let _ = (api, topic);
+    }
+
+    /// `onTimer`: an application timer armed via
+    /// [`ForestApi::set_app_timer`] fired.
+    fn on_timer(&mut self, api: &mut ForestApi<'_, '_, '_, Self::Data>, token: u64) {
+        let _ = (api, token);
+    }
+
+    /// Approximate application state size (Figure 13b).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// The forest layer: implements the DHT's [`UpperLayer`], hosts an
+/// application implementing [`ForestApp`].
+pub struct Forest<F: ForestApp> {
+    /// Forest protocol state.
+    pub state: ForestState<F::Data>,
+    /// The hosted application (e.g. the FL engine).
+    pub app: F,
+    config: ForestConfig,
+    started: bool,
+}
+
+impl<F: ForestApp> Forest<F> {
+    /// Wraps `app` with a forest using `config`.
+    pub fn new(app: F, config: ForestConfig) -> Self {
+        Forest {
+            state: ForestState::new(),
+            app,
+            config,
+            started: false,
+        }
+    }
+
+    /// The forest configuration.
+    pub fn config(&self) -> &ForestConfig {
+        &self.config
+    }
+
+    fn api<'a, 'b, 'c>(
+        state: &'a mut ForestState<F::Data>,
+        config: &'a ForestConfig,
+        dht: &'a mut DhtApi<'b, 'c, TreeMsg<F::Data>>,
+    ) -> ForestApi<'a, 'b, 'c, F::Data> {
+        ForestApi {
+            forest: state,
+            dht,
+            config,
+        }
+    }
+
+    /// Runs an application-level operation with full API access (the entry
+    /// point experiment drivers use via `DhtNode::with_api`).
+    pub fn with_forest_api<R>(
+        &mut self,
+        dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>,
+        f: impl FnOnce(&mut F, &mut ForestApi<'_, '_, '_, F::Data>) -> R,
+    ) -> R {
+        let mut api = Self::api(&mut self.state, &self.config, dht);
+        f(&mut self.app, &mut api)
+    }
+
+    /// Adopts `child` into `topic`'s tree, honoring the fanout cap by
+    /// pushing excess joins down to an existing child.
+    fn adopt_child(
+        &mut self,
+        dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>,
+        topic: Id,
+        child: Contact,
+    ) {
+        if child.addr == dht.addr() {
+            return;
+        }
+        let now = dht.now();
+        let cap = self.config.fanout_cap;
+        let me = me_contact(dht);
+        let m = self.state.tree_mut(topic, now);
+        if m.children.iter().any(|c| c.addr == child.addr) {
+            // Re-ack an existing child (join retry).
+            let depth = if m.is_root { 0 } else { m.depth };
+            dht.send_direct(
+                child.addr,
+                TreeMsg::JoinAck {
+                    topic,
+                    parent: me,
+                    depth,
+                },
+            );
+            return;
+        }
+        if cap > 0 && m.children.len() >= cap {
+            // Push-down: delegate to the child whose id is closest to the
+            // newcomer (deterministic and locality-friendly).
+            let target = m
+                .children
+                .iter()
+                .min_by_key(|c| c.id.ring_distance(child.id))
+                .copied()
+                .expect("cap > 0 implies children exist");
+            self.state.stats.pushdowns += 1;
+            dht.send_direct(target.addr, TreeMsg::Join { topic, child });
+            return;
+        }
+        m.add_child(child);
+        let depth = if m.is_root { 0 } else { m.depth };
+        self.state.stats.children_adopted += 1;
+        dht.send_direct(
+            child.addr,
+            TreeMsg::JoinAck {
+                topic,
+                parent: me,
+                depth,
+            },
+        );
+    }
+
+    /// Starts (or retries) this node's own attachment to `topic`.
+    fn send_own_join(&mut self, dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>, topic: Id) {
+        let now = dht.now();
+        let me = me_contact(dht);
+        let restricted = self.config.zone_restricted;
+        let m = self.state.tree_mut(topic, now);
+        m.joining = true;
+        m.join_sent = now;
+        self.state.stats.joins_sent += 1;
+        dht.route(topic, TreeMsg::Join { topic, child: me }, restricted);
+    }
+
+    fn handle_broadcast(
+        &mut self,
+        dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>,
+        from: NodeIdx,
+        topic: Id,
+        round: u64,
+        depth: u16,
+        data: F::Data,
+    ) {
+        let now = dht.now();
+        let me_addr = dht.addr();
+        let record = self.config.record_events;
+        let agg_timeout = self.config.agg_timeout;
+        let m = self.state.tree_mut(topic, now);
+
+        let from_parent = m.parent.map(|p| p.addr) == Some(from);
+        if from_parent {
+            m.last_parent_seen = now;
+        } else if m.attached() && from != me_addr {
+            // A stale parent still thinks we are its child: detach from it.
+            dht.send_direct(
+                from,
+                TreeMsg::Leave {
+                    topic,
+                    child: me_addr,
+                },
+            );
+            return;
+        }
+
+        if m.last_broadcast_round.is_some_and(|r| r >= round) {
+            return; // Duplicate or stale broadcast.
+        }
+        m.last_broadcast_round = Some(round);
+        // Bound per-round state over long trainings.
+        m.prune_rounds(round.saturating_sub(8));
+        if from_parent {
+            m.depth = depth.saturating_add(1);
+        }
+        let my_depth = m.depth;
+        let children = m.children.clone();
+        let subscriber = m.subscriber;
+        let ra = m.rounds.entry(round).or_default();
+        ra.expected = children.len();
+
+        if record {
+            self.state.broadcast_log.push(BroadcastEvent {
+                topic,
+                round,
+                at: now,
+                depth: my_depth,
+            });
+        }
+
+        // Forward down the tree.
+        for c in &children {
+            dht.send_direct(
+                c.addr,
+                TreeMsg::Broadcast {
+                    topic,
+                    round,
+                    depth: my_depth,
+                    data: data.clone(),
+                },
+            );
+        }
+        self.state.stats.broadcasts_forwarded += children.len() as u64;
+
+        // Local participation.
+        let mut local_contribution = false;
+        if subscriber {
+            let contribution = {
+                let mut api = Self::api(&mut self.state, &self.config, dht);
+                self.app.on_model(&mut api, topic, round, &data)
+            };
+            if let Some((update, delay)) = contribution {
+                local_contribution = true;
+                let m = self.state.tree_mut(topic, now);
+                if let Some(ra) = m.rounds.get_mut(&round) {
+                    ra.expected += 1;
+                }
+                dht.send_direct_after(
+                    me_addr,
+                    TreeMsg::AggregateUp {
+                        topic,
+                        round,
+                        count: 1,
+                        data: update,
+                    },
+                    delay,
+                );
+            }
+        }
+        // A childless node with nothing to contribute must tell its parent
+        // immediately so the round does not stall on the straggler cutoff.
+        if children.is_empty() && !local_contribution {
+            let m = self.state.tree_mut(topic, now);
+            if let Some(ra) = m.rounds.get_mut(&round) {
+                ra.flushed = true;
+            }
+            if let Some(p) = m.parent {
+                dht.send_direct(p.addr, TreeMsg::Abstain { topic, round });
+            }
+        }
+
+        // Straggler cutoff for this round.
+        let needs_timer = {
+            let m = self.state.tree_mut(topic, now);
+            let ra = m.rounds.entry(round).or_default();
+            let arm = !ra.timer_armed && ra.expected > 0;
+            ra.timer_armed = true;
+            arm
+        };
+        if needs_timer {
+            let mut api = Self::api(&mut self.state, &self.config, dht);
+            api.arm_round_timer(topic, round, agg_timeout);
+        }
+    }
+
+    fn handle_aggregate(
+        &mut self,
+        dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>,
+        _from: NodeIdx,
+        topic: Id,
+        round: u64,
+        count: u64,
+        data: F::Data,
+    ) {
+        let now = dht.now();
+        let agg_timeout = self.config.agg_timeout;
+        let m = self.state.tree_mut(topic, now);
+        let children_now = m.children.len();
+        let is_root = m.is_root;
+        let parent = m.parent;
+        let ra = m.rounds.entry(round).or_default();
+
+        if ra.flushed {
+            // Late contribution: pass it through unmodified so it is not
+            // lost; the master decides what to do with stragglers.
+            self.state.stats.late_contributions += 1;
+            if is_root {
+                let mut api = Self::api(&mut self.state, &self.config, dht);
+                self.app.on_aggregated(&mut api, topic, round, data, count);
+            } else if let Some(p) = parent {
+                dht.send_direct(p.addr, TreeMsg::AggregateUp { topic, round, count, data });
+                self.state.stats.aggregates_sent += 1;
+            }
+            return;
+        }
+
+        match &mut ra.acc {
+            Some(acc) => acc.combine(&data),
+            None => ra.acc = Some(data),
+        }
+        ra.count += count;
+        ra.inputs += 1;
+        if ra.expected == 0 {
+            // We never saw this round's broadcast (joined mid-round):
+            // expect one input per current child.
+            ra.expected = children_now.max(ra.inputs);
+        }
+        let complete = ra.inputs >= ra.expected;
+        let partial_count = ra.count;
+        let needs_timer = !ra.timer_armed;
+        if needs_timer {
+            ra.timer_armed = true;
+        }
+
+        {
+            let mut api = Self::api(&mut self.state, &self.config, dht);
+            self.app.on_partial(&mut api, topic, round, partial_count);
+        }
+        if needs_timer {
+            let mut api = Self::api(&mut self.state, &self.config, dht);
+            api.arm_round_timer(topic, round, agg_timeout);
+        }
+        if complete {
+            self.flush_round(dht, topic, round, false);
+        }
+        self.drain_flush_requests(dht);
+    }
+
+    /// A subtree reported that it has nothing for this round: count it as
+    /// a received input without combining anything.
+    fn handle_abstain(&mut self, dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>, topic: Id, round: u64) {
+        let now = dht.now();
+        let agg_timeout = self.config.agg_timeout;
+        let m = self.state.tree_mut(topic, now);
+        let children_now = m.children.len();
+        let ra = m.rounds.entry(round).or_default();
+        if ra.flushed {
+            return;
+        }
+        ra.inputs += 1;
+        if ra.expected == 0 {
+            ra.expected = children_now.max(ra.inputs);
+        }
+        let complete = ra.inputs >= ra.expected;
+        let needs_timer = !ra.timer_armed;
+        if needs_timer {
+            ra.timer_armed = true;
+            let mut api = Self::api(&mut self.state, &self.config, dht);
+            api.arm_round_timer(topic, round, agg_timeout);
+        }
+        if complete {
+            self.flush_round(dht, topic, round, false);
+        }
+    }
+
+    /// Pushes a round's accumulated aggregate up (or delivers it at the
+    /// root). Idempotent.
+    fn flush_round(
+        &mut self,
+        dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>,
+        topic: Id,
+        round: u64,
+        by_timeout: bool,
+    ) {
+        let now = dht.now();
+        let record = self.config.record_events;
+        let m = self.state.tree_mut(topic, now);
+        let is_root = m.is_root;
+        let parent = m.parent;
+        let Some(ra) = m.rounds.get_mut(&round) else {
+            return;
+        };
+        if ra.flushed {
+            return;
+        }
+        ra.flushed = true;
+        let count = ra.count;
+        let Some(acc) = ra.acc.take() else {
+            // The whole subtree abstained: propagate the abstention so
+            // ancestors do not wait out their straggler cutoff.
+            if !is_root {
+                if let Some(p) = parent {
+                    dht.send_direct(p.addr, TreeMsg::Abstain { topic, round });
+                }
+            }
+            return;
+        };
+        if by_timeout {
+            self.state.stats.timeout_flushes += 1;
+        }
+        if is_root {
+            if record {
+                self.state.agg_log.push(AggEvent {
+                    topic,
+                    round,
+                    at: now,
+                    count,
+                });
+            }
+            let mut api = Self::api(&mut self.state, &self.config, dht);
+            self.app.on_aggregated(&mut api, topic, round, acc, count);
+        } else if let Some(p) = parent {
+            self.state.stats.aggregates_sent += 1;
+            dht.send_direct(
+                p.addr,
+                TreeMsg::AggregateUp {
+                    topic,
+                    round,
+                    count,
+                    data: acc,
+                },
+            );
+        }
+        // Else: detached mid-round; the update is dropped and the straggler
+        // cutoff at the ancestors absorbs the loss.
+    }
+
+    /// Applies flush requests queued by the application during callbacks.
+    fn drain_flush_requests(&mut self, dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>) {
+        while let Some((topic, round)) = self.state.pending_flush.pop() {
+            self.flush_round(dht, topic, round, false);
+        }
+    }
+
+    fn begin_repair(&mut self, dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>, topic: Id) {
+        let now = dht.now();
+        let m = self.state.tree_mut(topic, now);
+        m.parent = None;
+        if !m.subscriber && m.children.is_empty() {
+            // A forwarder with no subtree left has nothing to repair: fall
+            // out of the tree instead of re-joining.
+            self.state.trees.remove(&topic);
+            return;
+        }
+        self.state.repair_events.push(RepairEvent {
+            topic,
+            detected: now,
+            reattached: None,
+        });
+        self.send_own_join(dht, topic);
+    }
+
+    fn forest_tick(&mut self, dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>) {
+        let now = dht.now();
+        let tick = self.config.tick;
+        let parent_timeout = tick.saturating_mul(u64::from(self.config.parent_timeout_ticks));
+        let join_retry = tick.saturating_mul(u64::from(self.config.join_retry_ticks));
+        let me = me_contact(dht);
+
+        let topics: Vec<Id> = self.state.trees.keys().copied().collect();
+        let mut to_repair = Vec::new();
+        let mut to_replan = Vec::new();
+        let mut to_rejoin = Vec::new();
+        for &topic in &topics {
+            let m = self.state.trees.get_mut(&topic).expect("topic exists");
+            // Keep-alive toward children.
+            let depth = if m.is_root { 0 } else { m.depth };
+            for c in &m.children {
+                dht.send_direct(
+                    c.addr,
+                    TreeMsg::ParentHeartbeat {
+                        topic,
+                        depth,
+                        sender: me,
+                    },
+                );
+            }
+            // Parent liveness: hard timeout, plus bandit bookkeeping (one
+            // semi-bandit "attempt" per tick; success = heard this tick).
+            if m.parent.is_some() {
+                // "Heard" within two ticks tolerates heartbeat phase
+                // offsets; a healthy link then scores ~1.0.
+                let heard = now.saturating_since(m.last_parent_seen) <= tick.saturating_mul(2);
+                m.parent_link.record(heard);
+                if now.saturating_since(m.last_parent_seen) > parent_timeout {
+                    to_repair.push(topic);
+                } else if let Some(threshold) = self.config.replan_cost_threshold {
+                    // Replan when even the optimistic (KL-UCB) view of the
+                    // link says its expected delivery cost is too high.
+                    let st = &m.parent_link;
+                    if st.attempts >= 8 {
+                        let log_tau = (st.attempts.max(2) as f64).ln();
+                        if st.omega(log_tau) > threshold {
+                            to_replan.push(topic);
+                        }
+                    }
+                }
+            }
+            // Join retry.
+            if m.joining && !m.attached() && now.saturating_since(m.join_sent) > join_retry {
+                to_rejoin.push(topic);
+            }
+        }
+        for topic in to_repair {
+            self.begin_repair(dht, topic);
+        }
+        for topic in to_replan {
+            // Leave the flaky parent cleanly, then re-route a JOIN; the
+            // DHT's current view (which has likely also observed the
+            // flakiness through transport failures) picks the new path.
+            let me_addr = dht.addr();
+            let m = self.state.tree_mut(topic, now);
+            if let Some(p) = m.parent {
+                dht.send_direct(
+                    p.addr,
+                    TreeMsg::Leave {
+                        topic,
+                        child: me_addr,
+                    },
+                );
+            }
+            m.parent_link = totoro_bandit::LinkStats::default();
+            self.state.stats.replans += 1;
+            self.begin_repair(dht, topic);
+        }
+        for topic in to_rejoin {
+            self.send_own_join(dht, topic);
+        }
+        dht.charge_compute(
+            ComputeKind::DhtTask,
+            SimDuration::from_micros(10 + 2 * topics.len() as u64),
+        );
+        dht.set_timer(tick, 0);
+    }
+}
+
+impl<F: ForestApp> UpperLayer for Forest<F> {
+    type P = TreeMsg<F::Data>;
+
+    fn on_start(&mut self, api: &mut DhtApi<'_, '_, Self::P>) {
+        if !self.started {
+            self.started = true;
+            api.set_timer(self.config.tick, 0);
+            let mut fapi = Self::api(&mut self.state, &self.config, api);
+            self.app.on_start(&mut fapi);
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        api: &mut DhtApi<'_, '_, Self::P>,
+        key: Id,
+        _origin: NodeIdx,
+        payload: Self::P,
+    ) {
+        // Only JOINs are key-routed; everything else travels directly.
+        if let TreeMsg::Join { child, .. } = payload {
+            let now = api.now();
+            let topic = key;
+            let newly_root = {
+                let m = self.state.tree_mut(topic, now);
+                let newly = !m.is_root;
+                m.is_root = true;
+                m.joining = false;
+                m.depth = 0;
+                m.parent = None;
+                newly
+            };
+            if newly_root {
+                // Close any repair episode: we became the new rendezvous.
+                if let Some(ev) = self
+                    .state
+                    .repair_events
+                    .iter_mut()
+                    .rev()
+                    .find(|e| e.topic == topic && e.reattached.is_none())
+                {
+                    ev.reattached = Some(now);
+                }
+                let mut fapi = Self::api(&mut self.state, &self.config, api);
+                self.app.on_became_root(&mut fapi, topic);
+            }
+            self.adopt_child(api, topic, child);
+        }
+    }
+
+    fn on_forward(
+        &mut self,
+        api: &mut DhtApi<'_, '_, Self::P>,
+        key: Id,
+        _prev: NodeIdx,
+        payload: &mut Self::P,
+        _next: Contact,
+    ) -> bool {
+        let TreeMsg::Join { child, .. } = payload else {
+            return true;
+        };
+        let topic = key;
+        let child = *child;
+        let now = api.now();
+        self.adopt_child(api, topic, child);
+        let m = self.state.tree_mut(topic, now);
+        if m.attached() || m.joining {
+            // Already part of the tree: the JOIN path ends here (§4.3).
+            false
+        } else {
+            // Become a forwarder: splice ourselves into the path and keep
+            // routing our own JOIN toward the rendezvous.
+            m.joining = true;
+            m.join_sent = now;
+            self.state.stats.joins_sent += 1;
+            *payload = TreeMsg::Join {
+                topic,
+                child: me_contact(api),
+            };
+            true
+        }
+    }
+
+    fn on_direct(&mut self, api: &mut DhtApi<'_, '_, Self::P>, from: NodeIdx, payload: Self::P) {
+        let now = api.now();
+        match payload {
+            TreeMsg::Join { topic, child } => {
+                // Push-down delegation from an overloaded ancestor: adopt
+                // the newcomer here (or push it further down).
+                self.adopt_child(api, topic, child);
+            }
+            TreeMsg::JoinAck {
+                topic,
+                parent,
+                depth,
+            } => {
+                let m = self.state.tree_mut(topic, now);
+                if m.is_root {
+                    return; // Stale ack from a pre-takeover path.
+                }
+                let had_parent = m.parent.is_some();
+                if m.parent.map(|p| p.addr) != Some(parent.addr) {
+                    m.parent_link = totoro_bandit::LinkStats::default();
+                }
+                m.parent = Some(parent);
+                m.depth = depth.saturating_add(1);
+                m.joining = false;
+                m.last_parent_seen = now;
+                if !had_parent {
+                    if let Some(ev) = self
+                        .state
+                        .repair_events
+                        .iter_mut()
+                        .rev()
+                        .find(|e| e.topic == topic && e.reattached.is_none())
+                    {
+                        ev.reattached = Some(now);
+                    }
+                }
+            }
+            TreeMsg::Leave { topic, child } => {
+                let m = self.state.tree_mut(topic, now);
+                m.remove_child(child);
+            }
+            TreeMsg::Broadcast {
+                topic,
+                round,
+                depth,
+                data,
+            } => {
+                self.handle_broadcast(api, from, topic, round, depth, data);
+            }
+            TreeMsg::AggregateUp {
+                topic,
+                round,
+                count,
+                data,
+            } => {
+                self.handle_aggregate(api, from, topic, round, count, data);
+            }
+            TreeMsg::Abstain { topic, round } => {
+                self.handle_abstain(api, topic, round);
+            }
+            TreeMsg::ParentHeartbeat {
+                topic,
+                depth,
+                sender,
+            } => {
+                let m = self.state.tree_mut(topic, now);
+                match m.parent {
+                    Some(p) if p.addr == from => {
+                        m.last_parent_seen = now;
+                        m.depth = depth.saturating_add(1);
+                    }
+                    None if !m.is_root && (m.subscriber || !m.children.is_empty()) => {
+                        // An orphaned child that still wants tree
+                        // membership re-adopts a parent that carries it in
+                        // its children table.
+                        m.parent = Some(sender);
+                        m.depth = depth.saturating_add(1);
+                        m.last_parent_seen = now;
+                        m.joining = false;
+                    }
+                    _ => {
+                        // Heartbeat from a stale parent: detach from it.
+                        if m.parent.map(|p| p.addr) != Some(from) {
+                            let me_addr = api.addr();
+                            api.send_direct(
+                                from,
+                                TreeMsg::Leave {
+                                    topic,
+                                    child: me_addr,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, api: &mut DhtApi<'_, '_, Self::P>, token: u64) {
+        if token == 0 {
+            self.forest_tick(api);
+        } else if token % 2 == 1 {
+            let app_token = (token - 1) / 2;
+            {
+                let mut fapi = Self::api(&mut self.state, &self.config, api);
+                self.app.on_timer(&mut fapi, app_token);
+            }
+            self.drain_flush_requests(api);
+        } else {
+            let round_token = token / 2;
+            if let Some((topic, round)) = self.state.round_timers.remove(&round_token) {
+                self.flush_round(api, topic, round, true);
+            }
+        }
+    }
+
+    fn on_peer_failed(&mut self, api: &mut DhtApi<'_, '_, Self::P>, addr: NodeIdx) {
+        let topics: Vec<Id> = self.state.trees.keys().copied().collect();
+        for topic in topics {
+            let (was_parent, _had_child) = {
+                let m = self
+                    .state
+                    .trees
+                    .get_mut(&topic)
+                    .expect("topic exists");
+                let was_parent = m.parent.map(|p| p.addr) == Some(addr);
+                let had_child = m.remove_child(addr);
+                (was_parent, had_child)
+            };
+            if was_parent {
+                self.begin_repair(api, topic);
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.state.memory_bytes() + self.app.memory_bytes()
+    }
+}

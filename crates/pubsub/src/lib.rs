@@ -1,0 +1,33 @@
+//! # totoro-pubsub
+//!
+//! Totoro's Layer 2: the publish/subscribe-based *forest* abstraction
+//! (§4.3 of the paper). Every FL application is assigned an independent,
+//! dynamically-structured dataflow tree built as the union of DHT JOIN
+//! paths toward the application's AppId. The rendezvous node becomes the
+//! application's master; interior nodes aggregate in-network; leaves are
+//! the workers. Together the trees form a forest that spreads masters
+//! uniformly over the overlay.
+//!
+//! * [`msg`] — tree protocol messages and the [`msg::TreeData`] combining
+//!   contract for in-network aggregation.
+//! * [`membership`] — per-topic membership and per-round aggregation state.
+//! * [`forest`] — the protocol: subscribe/join-interception, broadcast,
+//!   aggregation with straggler cutoffs, keep-alive repair (§4.5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forest;
+pub mod membership;
+pub mod msg;
+
+pub use forest::{
+    AggEvent, BroadcastEvent, Forest, ForestApi, ForestApp, ForestConfig, ForestState,
+    ForestStats,
+};
+pub use membership::{Membership, RepairEvent, RoundAgg};
+pub use msg::{TreeData, TreeMsg};
+
+/// A complete pub/sub node: a DHT node whose upper layer is a forest
+/// hosting application `F`.
+pub type ForestNode<F> = totoro_dht::DhtNode<Forest<F>>;

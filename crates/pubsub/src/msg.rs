@@ -1,0 +1,161 @@
+//! Messages of the publish/subscribe forest protocol.
+
+use totoro_dht::{Contact, Id};
+use totoro_simnet::{NodeIdx, Payload};
+
+/// Data that can ride a dataflow tree.
+///
+/// Gradient aggregation is performed *in-network*: every interior node
+/// combines the updates of its subtree before forwarding one message upward
+/// (§4.3 step 2b). `combine` must therefore be associative and commutative
+/// — e.g. a weighted sum of gradients plus a sample count.
+pub trait TreeData: Payload {
+    /// Folds `other` into `self`.
+    fn combine(&mut self, other: &Self);
+}
+
+/// Forest protocol messages; `D` is the application data (models/updates).
+#[derive(Clone, Debug)]
+pub enum TreeMsg<D> {
+    /// Subscription request, routed through the DHT toward the topic key.
+    /// Intercepted hop-by-hop: each node on the path adopts the previous
+    /// hop as a child and, if new to the tree, re-writes `child` to itself
+    /// and keeps routing — the JOIN-path-union construction of §4.3.
+    Join {
+        /// Tree topic (redundant with the routing key for routed joins,
+        /// but required for direct push-down delegation).
+        topic: Id,
+        /// The node requesting attachment at this point of the path.
+        child: Contact,
+    },
+    /// Parent → child: attachment confirmed.
+    JoinAck {
+        /// Tree topic.
+        topic: Id,
+        /// The adopting parent.
+        parent: Contact,
+        /// Parent's depth in the tree (root = 0); child depth is +1.
+        depth: u16,
+    },
+    /// Child → parent: detach (voluntary unsubscribe).
+    Leave {
+        /// Tree topic.
+        topic: Id,
+        /// The departing child's address.
+        child: NodeIdx,
+    },
+    /// Parent → child: model dissemination down the tree.
+    Broadcast {
+        /// Tree topic.
+        topic: Id,
+        /// Training round number.
+        round: u64,
+        /// Depth of the *sender*; receiver depth is +1.
+        depth: u16,
+        /// The disseminated data (e.g. serialized model weights).
+        data: D,
+    },
+    /// Child → parent (or self → self for a local contribution): partially
+    /// aggregated updates climbing toward the root.
+    AggregateUp {
+        /// Tree topic.
+        topic: Id,
+        /// Training round number.
+        round: u64,
+        /// Number of leaf contributions folded into `data`.
+        count: u64,
+        /// The (partially aggregated) update.
+        data: D,
+    },
+    /// Child → parent: this subtree contributes nothing to the round
+    /// (e.g. the client-selection policy skipped every worker in it), so
+    /// the parent must not wait for it.
+    Abstain {
+        /// Tree topic.
+        topic: Id,
+        /// Training round number.
+        round: u64,
+    },
+    /// Parent → children keep-alive (§4.5); carries depth so children keep
+    /// their depth fresh as the tree reshapes.
+    ParentHeartbeat {
+        /// Tree topic.
+        topic: Id,
+        /// Sender's depth.
+        depth: u16,
+        /// The sending parent (lets a detached child re-adopt it).
+        sender: Contact,
+    },
+}
+
+const TREE_HEADER: usize = 24;
+const CONTACT_WIRE: usize = 24;
+
+impl<D: Payload> Payload for TreeMsg<D> {
+    fn size_bytes(&self) -> usize {
+        match self {
+            TreeMsg::Join { .. } => TREE_HEADER + 16 + CONTACT_WIRE,
+            TreeMsg::JoinAck { .. } => TREE_HEADER + CONTACT_WIRE + 2,
+            TreeMsg::Leave { .. } => TREE_HEADER + 8,
+            TreeMsg::Broadcast { data, .. } => TREE_HEADER + 10 + data.size_bytes(),
+            TreeMsg::AggregateUp { data, .. } => TREE_HEADER + 16 + data.size_bytes(),
+            TreeMsg::Abstain { .. } => TREE_HEADER + 16,
+            TreeMsg::ParentHeartbeat { .. } => TREE_HEADER + 2 + CONTACT_WIRE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Vecs(Vec<f32>);
+
+    impl Payload for Vecs {
+        fn size_bytes(&self) -> usize {
+            self.0.len() * 4
+        }
+    }
+
+    impl TreeData for Vecs {
+        fn combine(&mut self, other: &Self) {
+            for (a, b) in self.0.iter_mut().zip(&other.0) {
+                *a += b;
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_reflect_payload() {
+        let small = TreeMsg::Broadcast {
+            topic: Id::ZERO,
+            round: 0,
+            depth: 0,
+            data: Vecs(vec![0.0; 10]),
+        };
+        let big = TreeMsg::Broadcast {
+            topic: Id::ZERO,
+            round: 0,
+            depth: 0,
+            data: Vecs(vec![0.0; 1000]),
+        };
+        assert!(big.size_bytes() > small.size_bytes() + 3_000);
+        let hb: TreeMsg<Vecs> = TreeMsg::ParentHeartbeat {
+            topic: Id::ZERO,
+            depth: 1,
+            sender: Contact {
+                id: Id::ZERO,
+                addr: 0,
+            },
+        };
+        assert!(hb.size_bytes() < 64);
+    }
+
+    #[test]
+    fn combine_is_elementwise() {
+        let mut a = Vecs(vec![1.0, 2.0]);
+        a.combine(&Vecs(vec![10.0, 20.0]));
+        assert_eq!(a.0, vec![11.0, 22.0]);
+    }
+}

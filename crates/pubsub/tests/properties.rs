@@ -1,0 +1,106 @@
+//! Property-based tests: in-network aggregation must be shape-independent.
+
+use proptest::prelude::*;
+use totoro_pubsub::TreeData;
+use totoro_simnet::Payload;
+
+/// A test payload: weighted sums with counts (structurally the same as the
+/// FL engine's update type).
+#[derive(Clone, Debug, PartialEq)]
+struct W {
+    v: Vec<f64>,
+    n: u64,
+}
+
+impl Payload for W {
+    fn size_bytes(&self) -> usize {
+        self.v.len() * 8
+    }
+}
+
+impl TreeData for W {
+    fn combine(&mut self, other: &Self) {
+        if self.v.is_empty() {
+            self.v = other.v.clone();
+            self.n = other.n;
+            return;
+        }
+        for (a, b) in self.v.iter_mut().zip(&other.v) {
+            *a += b;
+        }
+        self.n += other.n;
+    }
+}
+
+/// Folds contributions along an arbitrary binary tree shape encoded by a
+/// sequence of merge choices, and checks the result equals the flat sum.
+fn tree_fold(leaves: &[W], shape: &[bool]) -> W {
+    let mut stack: Vec<W> = Vec::new();
+    let mut shape_iter = shape.iter().copied().cycle();
+    for leaf in leaves {
+        stack.push(leaf.clone());
+        // Randomly merge adjacent partials as an interior node would.
+        while stack.len() >= 2 && shape_iter.next().unwrap_or(false) {
+            let b = stack.pop().expect("len >= 2");
+            let mut a = stack.pop().expect("len >= 2");
+            a.combine(&b);
+            stack.push(a);
+        }
+    }
+    let mut acc = stack.pop().expect("non-empty");
+    while let Some(p) = stack.pop() {
+        acc.combine(&p);
+    }
+    acc
+}
+
+proptest! {
+    /// Any aggregation-tree shape produces the same total as a flat fold —
+    /// the invariant that lets interior nodes partially aggregate (§4.3).
+    #[test]
+    fn aggregation_is_shape_independent(
+        leaves in prop::collection::vec(
+            (prop::collection::vec(-100.0f64..100.0, 3), 1u64..50),
+            1..20,
+        ),
+        shape in prop::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let leaves: Vec<W> = leaves
+            .into_iter()
+            .map(|(v, n)| W { v, n })
+            .collect();
+        let tree = tree_fold(&leaves, &shape);
+        let mut flat = W { v: vec![0.0; 3], n: 0 };
+        for leaf in &leaves {
+            flat.combine(leaf);
+        }
+        prop_assert_eq!(tree.n, flat.n);
+        for (a, b) in tree.v.iter().zip(&flat.v) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Membership child tables behave like sets keyed by address.
+    #[test]
+    fn children_table_is_a_set(ops in prop::collection::vec((0usize..10, any::<bool>()), 0..60)) {
+        use totoro_dht::{Contact, Id};
+        use totoro_pubsub::Membership;
+        use totoro_simnet::SimTime;
+        let mut m: Membership<W> = Membership::new(Id::ZERO, SimTime::ZERO);
+        let mut model = std::collections::BTreeSet::new();
+        for (addr, add) in ops {
+            if add {
+                m.add_child(Contact { id: Id::new(addr as u128 + 1), addr });
+                model.insert(addr);
+            } else {
+                m.remove_child(addr);
+                model.remove(&addr);
+            }
+            prop_assert_eq!(m.children.len(), model.len());
+        }
+        let mut got: Vec<usize> = m.children.iter().map(|c| c.addr).collect();
+        got.sort_unstable();
+        let want: Vec<usize> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,192 @@
+//! Churn schedule generation.
+//!
+//! Edge nodes "fail or lag unexpectedly" (§2.2.2); the adaptivity
+//! experiments (Figure 12) kill 5% of each tree's nodes simultaneously. A
+//! [`ChurnSchedule`] is a reproducible list of down/up events that an
+//! experiment driver feeds into the simulator before running.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeIdx;
+
+/// One scheduled availability change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// When the change happens.
+    pub at: SimTime,
+    /// Which node changes state.
+    pub node: NodeIdx,
+    /// `true` = node goes down, `false` = node comes back up.
+    pub down: bool,
+}
+
+/// A reproducible list of churn events, sorted by time.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// An empty schedule (no churn).
+    pub fn none() -> Self {
+        ChurnSchedule::default()
+    }
+
+    /// Kills a random `fraction` of `candidates` simultaneously at `at`,
+    /// never reviving them — the Figure 12 workload.
+    pub fn mass_failure(
+        candidates: &[NodeIdx],
+        fraction: f64,
+        at: SimTime,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut pool: Vec<NodeIdx> = candidates.to_vec();
+        pool.shuffle(rng);
+        let k = ((candidates.len() as f64 * fraction).round() as usize).min(pool.len());
+        let events = pool[..k]
+            .iter()
+            .map(|&node| ChurnEvent {
+                at,
+                node,
+                down: true,
+            })
+            .collect();
+        ChurnSchedule { events }
+    }
+
+    /// Continuous churn: over `[start, end)`, each event at an exponential
+    /// inter-arrival time with mean `mean_gap` takes a random up node down
+    /// for `outage` and then revives it.
+    pub fn continuous(
+        candidates: &[NodeIdx],
+        start: SimTime,
+        end: SimTime,
+        mean_gap: SimDuration,
+        outage: SimDuration,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut events = Vec::new();
+        let mut t = start;
+        loop {
+            let gap = exponential(mean_gap, rng);
+            t += gap;
+            if t >= end || candidates.is_empty() {
+                break;
+            }
+            let node = candidates[rng.gen_range(0..candidates.len())];
+            events.push(ChurnEvent {
+                at: t,
+                node,
+                down: true,
+            });
+            events.push(ChurnEvent {
+                at: t + outage,
+                node,
+                down: false,
+            });
+        }
+        events.sort_by_key(|e| (e.at, e.node));
+        ChurnSchedule { events }
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Number of distinct nodes that go down at least once.
+    pub fn nodes_affected(&self) -> usize {
+        let mut nodes: Vec<NodeIdx> = self
+            .events
+            .iter()
+            .filter(|e| e.down)
+            .map(|e| e.node)
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+
+    /// Applies the schedule to a simulator.
+    pub fn apply<A: crate::sim::Application>(&self, sim: &mut crate::sim::Simulator<A>) {
+        for e in &self.events {
+            if e.down {
+                sim.schedule_down(e.node, e.at);
+            } else {
+                sim.schedule_up(e.node, e.at);
+            }
+        }
+    }
+}
+
+fn exponential(mean: SimDuration, rng: &mut StdRng) -> SimDuration {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::sub_rng;
+
+    #[test]
+    fn mass_failure_kills_expected_fraction() {
+        let mut rng = sub_rng(1, "churn");
+        let candidates: Vec<NodeIdx> = (0..200).collect();
+        let s = ChurnSchedule::mass_failure(
+            &candidates,
+            0.05,
+            SimTime::from_micros(1_000),
+            &mut rng,
+        );
+        assert_eq!(s.events().len(), 10);
+        assert_eq!(s.nodes_affected(), 10);
+        assert!(s.events().iter().all(|e| e.down));
+        assert!(s
+            .events()
+            .iter()
+            .all(|e| e.at == SimTime::from_micros(1_000)));
+    }
+
+    #[test]
+    fn mass_failure_has_no_duplicates() {
+        let mut rng = sub_rng(2, "churn");
+        let candidates: Vec<NodeIdx> = (0..50).collect();
+        let s = ChurnSchedule::mass_failure(&candidates, 0.5, SimTime::ZERO, &mut rng);
+        let mut nodes: Vec<NodeIdx> = s.events().iter().map(|e| e.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), s.events().len());
+    }
+
+    #[test]
+    fn continuous_churn_pairs_down_with_up() {
+        let mut rng = sub_rng(3, "churn");
+        let candidates: Vec<NodeIdx> = (0..20).collect();
+        let s = ChurnSchedule::continuous(
+            &candidates,
+            SimTime::ZERO,
+            SimTime::from_micros(10_000_000),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(500),
+            &mut rng,
+        );
+        let downs = s.events().iter().filter(|e| e.down).count();
+        let ups = s.events().iter().filter(|e| !e.down).count();
+        assert_eq!(downs, ups);
+        assert!(downs > 10, "expected many events, got {downs}");
+        // Sorted by time.
+        assert!(s.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty_schedule() {
+        let mut rng = sub_rng(4, "churn");
+        let s = ChurnSchedule::mass_failure(&[], 0.5, SimTime::ZERO, &mut rng);
+        assert!(s.events().is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # totoro-simnet
+//!
+//! Deterministic discrete-event network simulator underlying the Totoro
+//! reproduction. It provides:
+//!
+//! * a virtual clock and event queue ([`sim::Simulator`]);
+//! * a geographic topology with latency/bandwidth/loss models
+//!   ([`topology::Topology`], [`geo`]);
+//! * Ratnasamy-Shenker distributed binning and edge-zone formation
+//!   ([`binning`]);
+//! * per-node traffic and compute ledgers ([`traffic`], Figure 7/13);
+//! * reproducible churn schedules ([`churn`], Figure 12).
+//!
+//! The paper evaluates Totoro by *emulating* up to 100k edge nodes on 500
+//! EC2 machines (§7.1); this crate replaces that emulation with an exact
+//! event-level simulation so experiments are reproducible on one machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod churn;
+pub mod geo;
+pub mod rng;
+pub mod sim;
+pub mod time;
+pub mod topology;
+pub mod traffic;
+
+pub use binning::{assign_zones, BinningConfig, ZoneAssignment};
+pub use churn::ChurnSchedule;
+pub use geo::{GeoPoint, PlacedNode, Region};
+pub use rng::{derive_seed, sub_rng};
+pub use sim::{Application, ComputeKind, Ctx, Payload, Simulator};
+pub use time::{SimDuration, SimTime};
+pub use topology::{LatencyModel, NodeIdx, NodeProfile, Topology, BASE_EDGE_FLOPS};
+pub use traffic::TrafficLedger;

@@ -1,0 +1,703 @@
+//! The discrete-event simulator core.
+//!
+//! Every edge node is a state machine implementing [`Application`]. Nodes
+//! interact *only* by exchanging messages through the simulator, which
+//! samples per-message delay and loss from the [`Topology`] and delivers
+//! events in deterministic `(time, sequence)` order. This models the paper's
+//! EC2 emulation (1 JVM = 1 edge node, §7.1) while staying reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+
+use crate::rng::sub_rng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeIdx, Topology};
+use crate::traffic::TrafficLedger;
+
+/// A message that can travel through the simulator.
+///
+/// The reported size drives transmission-time and traffic accounting; it
+/// should approximate the serialized wire size of the message.
+pub trait Payload: Clone {
+    /// Serialized size of this message in bytes.
+    fn size_bytes(&self) -> usize;
+}
+
+/// Broad activity categories for compute accounting (Figure 13a splits CPU
+/// overhead into FL-related and DHT-related tasks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComputeKind {
+    /// Model training, aggregation math, serialization.
+    FlTask,
+    /// Overlay construction, routing, tree maintenance.
+    DhtTask,
+}
+
+/// Node behaviour: the protocol stack running on each simulated edge node.
+pub trait Application: Sized {
+    /// Message type exchanged between nodes.
+    type Msg: Payload;
+
+    /// Invoked once at simulation start (time zero), in node-index order.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when a message from `from` is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeIdx, msg: Self::Msg);
+
+    /// Invoked when a message this node sent to `peer` could not be
+    /// delivered because `peer` was down — the simulator's analogue of a
+    /// TCP connection error. Stochastic (UDP-like) losses are silent and do
+    /// NOT trigger this callback.
+    fn on_send_failed(&mut self, ctx: &mut Ctx<'_, Self::Msg>, peer: NodeIdx) {
+        let _ = (ctx, peer);
+    }
+
+    /// Invoked when a timer armed with [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// Invoked when the node is taken down by churn injection.
+    fn on_down(&mut self) {}
+
+    /// Invoked when the node comes back up; timers armed before the outage
+    /// were discarded, so long-lived periodic work must be re-armed here.
+    fn on_up(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Approximate bytes of protocol state held by this node, for memory
+    /// overhead reporting (Figure 13b).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Per-invocation context handed to application callbacks.
+///
+/// All side effects (sends, timers, compute charges) go through the context
+/// and are applied by the simulator after the callback returns.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    me: NodeIdx,
+    actions: &'a mut Vec<Action<M>>,
+    rng: &'a mut StdRng,
+    topology: &'a Topology,
+}
+
+enum Action<M> {
+    Send {
+        to: NodeIdx,
+        msg: M,
+        extra: SimDuration,
+    },
+    Timer {
+        delay: SimDuration,
+        token: u64,
+    },
+    Compute {
+        kind: ComputeKind,
+        amount: SimDuration,
+    },
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Index of the node executing this callback.
+    pub fn me(&self) -> NodeIdx {
+        self.me
+    }
+
+    /// The shared network topology (read-only).
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// The node's deterministic random stream.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` to node `to`; delivery is delayed by the sampled network
+    /// delay (or dropped if the link loses it or `to` is down on arrival).
+    pub fn send(&mut self, to: NodeIdx, msg: M) {
+        self.actions.push(Action::Send {
+            to,
+            msg,
+            extra: SimDuration::ZERO,
+        });
+    }
+
+    /// Like [`Ctx::send`], but the message additionally waits `extra`
+    /// simulated time before entering the network — used to model local
+    /// compute (e.g. training) that precedes a reply.
+    pub fn send_after(&mut self, to: NodeIdx, msg: M, extra: SimDuration) {
+        self.actions.push(Action::Send { to, msg, extra });
+    }
+
+    /// Arms a one-shot timer that fires `delay` from now with `token`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.actions.push(Action::Timer { delay, token });
+    }
+
+    /// Charges `amount` of simulated CPU time of the given kind to this
+    /// node's compute ledger (accounting only; does not delay anything).
+    pub fn charge_compute(&mut self, kind: ComputeKind, amount: SimDuration) {
+        self.actions.push(Action::Compute { kind, amount });
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Start,
+    Deliver { src: NodeIdx, msg: M },
+    SendFailed { peer: NodeIdx },
+    Timer { token: u64 },
+    Down,
+    Up,
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    node: NodeIdx,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Cumulative simulated CPU time per node, split by [`ComputeKind`].
+#[derive(Clone, Debug, Default)]
+pub struct ComputeLedger {
+    /// FL-task microseconds per node.
+    pub fl_us: Vec<u64>,
+    /// DHT-task microseconds per node.
+    pub dht_us: Vec<u64>,
+}
+
+impl ComputeLedger {
+    fn new(n: usize) -> Self {
+        ComputeLedger {
+            fl_us: vec![0; n],
+            dht_us: vec![0; n],
+        }
+    }
+
+    fn charge(&mut self, node: NodeIdx, kind: ComputeKind, amount: SimDuration) {
+        match kind {
+            ComputeKind::FlTask => self.fl_us[node] += amount.as_micros(),
+            ComputeKind::DhtTask => self.dht_us[node] += amount.as_micros(),
+        }
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator<A: Application> {
+    nodes: Vec<A>,
+    alive: Vec<bool>,
+    topology: Topology,
+    queue: BinaryHeap<Reverse<Event<A::Msg>>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    traffic: TrafficLedger,
+    compute: ComputeLedger,
+    scratch: Vec<Action<A::Msg>>,
+    events_processed: u64,
+    messages_dropped: u64,
+}
+
+impl<A: Application> Simulator<A> {
+    /// Builds a simulator over `topology`, constructing each node with
+    /// `make_node(index)`. `on_start` fires for every node at time zero.
+    pub fn new(topology: Topology, seed: u64, mut make_node: impl FnMut(NodeIdx) -> A) -> Self {
+        let n = topology.len();
+        let nodes: Vec<A> = (0..n).map(&mut make_node).collect();
+        let mut queue = BinaryHeap::with_capacity(n);
+        for (seq, node) in (0..n).enumerate() {
+            queue.push(Reverse(Event {
+                time: SimTime::ZERO,
+                seq: seq as u64,
+                node,
+                kind: EventKind::Start,
+            }));
+        }
+        Simulator {
+            alive: vec![true; n],
+            nodes,
+            queue,
+            now: SimTime::ZERO,
+            seq: n as u64,
+            rng: sub_rng(seed, "simulator"),
+            traffic: TrafficLedger::new(n),
+            compute: ComputeLedger::new(n),
+            scratch: Vec::new(),
+            topology,
+            events_processed: 0,
+            messages_dropped: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the simulator has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Read access to a node's application state.
+    pub fn app(&self, i: NodeIdx) -> &A {
+        &self.nodes[i]
+    }
+
+    /// Iterates over all application states.
+    pub fn apps(&self) -> impl Iterator<Item = &A> {
+        self.nodes.iter()
+    }
+
+    /// Whether node `i` is currently up.
+    pub fn alive(&self, i: NodeIdx) -> bool {
+        self.alive[i]
+    }
+
+    /// The traffic ledger.
+    pub fn traffic(&self) -> &TrafficLedger {
+        &self.traffic
+    }
+
+    /// Mutable access to the traffic ledger (e.g. to reset after warm-up).
+    pub fn traffic_mut(&mut self) -> &mut TrafficLedger {
+        &mut self.traffic
+    }
+
+    /// The compute ledger.
+    pub fn compute(&self) -> &ComputeLedger {
+        &self.compute
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Messages dropped by loss or dead destinations so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    /// Schedules node `i` to go down at absolute time `at`.
+    pub fn schedule_down(&mut self, i: NodeIdx, at: SimTime) {
+        self.push_event(at, i, EventKind::Down);
+    }
+
+    /// Schedules node `i` to come back up at absolute time `at`.
+    pub fn schedule_up(&mut self, i: NodeIdx, at: SimTime) {
+        self.push_event(at, i, EventKind::Up);
+    }
+
+    /// Runs an application callback "from the outside" at the current time —
+    /// the entry point for experiment drivers (submit an FL application,
+    /// start a broadcast, ...). Side effects issued through the context are
+    /// applied exactly as for event-driven callbacks.
+    pub fn with_app<R>(
+        &mut self,
+        i: NodeIdx,
+        f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>) -> R,
+    ) -> R {
+        debug_assert!(self.scratch.is_empty());
+        let mut actions = std::mem::take(&mut self.scratch);
+        let r = {
+            let mut ctx = Ctx {
+                now: self.now,
+                me: i,
+                actions: &mut actions,
+                rng: &mut self.rng,
+                topology: &self.topology,
+            };
+            f(&mut self.nodes[i], &mut ctx)
+        };
+        self.scratch = actions;
+        self.apply_actions(i);
+        r
+    }
+
+    /// Processes the next event, returning its timestamp, or `None` if the
+    /// queue is empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let Reverse(ev) = self.queue.pop()?;
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.events_processed += 1;
+        let node = ev.node;
+        let mut notify_failure: Option<NodeIdx> = None;
+        debug_assert!(self.scratch.is_empty());
+        let mut actions = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                me: node,
+                actions: &mut actions,
+                rng: &mut self.rng,
+                topology: &self.topology,
+            };
+            match ev.kind {
+                EventKind::Start => {
+                    if self.alive[node] {
+                        self.nodes[node].on_start(&mut ctx);
+                    }
+                }
+                EventKind::Deliver { src, msg } => {
+                    if self.alive[node] {
+                        self.traffic.record_recv(node, msg.size_bytes());
+                        self.nodes[node].on_message(&mut ctx, src, msg);
+                    } else {
+                        self.messages_dropped += 1;
+                        notify_failure = Some(src);
+                    }
+                }
+                EventKind::SendFailed { peer } => {
+                    if self.alive[node] {
+                        self.nodes[node].on_send_failed(&mut ctx, peer);
+                    }
+                }
+                EventKind::Timer { token } => {
+                    if self.alive[node] {
+                        self.nodes[node].on_timer(&mut ctx, token);
+                    }
+                }
+                EventKind::Down => {
+                    if self.alive[node] {
+                        self.alive[node] = false;
+                        self.nodes[node].on_down();
+                    }
+                }
+                EventKind::Up => {
+                    if !self.alive[node] {
+                        self.alive[node] = true;
+                        self.nodes[node].on_up(&mut ctx);
+                    }
+                }
+            }
+        }
+        self.scratch = actions;
+        self.apply_actions(node);
+        if let Some(src) = notify_failure {
+            // Bounce a connection-failure notification back to the sender
+            // (TCP-RST-like); it travels one network delay.
+            let delay = self.topology.sample_delay(node, src, 64, &mut self.rng);
+            let at = self.now + delay;
+            self.push_event(at, src, EventKind::SendFailed { peer: node });
+        }
+        Some(self.now)
+    }
+
+    /// Runs until the queue drains or simulated time exceeds `deadline`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > deadline {
+                break;
+            }
+            self.step();
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Runs for `dur` of simulated time from the current instant.
+    pub fn run_for(&mut self, dur: SimDuration) -> u64 {
+        let deadline = self.now + dur;
+        self.run_until(deadline)
+    }
+
+    /// Runs until the event queue is empty or `max_events` were processed.
+    /// Returns `true` if the queue drained.
+    pub fn run_until_quiet(&mut self, max_events: u64) -> bool {
+        for _ in 0..max_events {
+            if self.step().is_none() {
+                return true;
+            }
+        }
+        self.queue.is_empty()
+    }
+
+    fn push_event(&mut self, time: SimTime, node: NodeIdx, kind: EventKind<A::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time: time.max(self.now),
+            seq,
+            node,
+            kind,
+        }));
+    }
+
+    fn apply_actions(&mut self, src: NodeIdx) {
+        // Drain into a local vec to keep borrowck simple; scratch is reused.
+        let actions: Vec<Action<A::Msg>> = self.scratch.drain(..).collect();
+        for action in actions {
+            match action {
+                Action::Send { to, msg, extra } => {
+                    let size = msg.size_bytes();
+                    self.traffic.record_send(src, size);
+                    if self.topology.sample_loss(&mut self.rng) {
+                        self.messages_dropped += 1;
+                        continue;
+                    }
+                    let delay = self.topology.sample_delay(src, to, size, &mut self.rng);
+                    let at = self.now + extra + delay;
+                    self.push_event(at, to, EventKind::Deliver { src, msg });
+                }
+                Action::Timer { delay, token } => {
+                    let at = self.now + delay;
+                    self.push_event(at, src, EventKind::Timer { token });
+                }
+                Action::Compute { kind, amount } => {
+                    self.compute.charge(src, kind, amount);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy protocol: node 0 floods a token around the ring; each node
+    /// increments and forwards it to `(i + 1) % n` until it reaches `limit`.
+    struct RingNode {
+        n: usize,
+        limit: u64,
+        seen: Vec<u64>,
+        down_count: u32,
+        up_count: u32,
+    }
+
+    #[derive(Clone)]
+    struct Token(u64);
+
+    impl Payload for Token {
+        fn size_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    impl Application for RingNode {
+        type Msg = Token;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Token>) {
+            if ctx.me() == 0 {
+                ctx.send(1 % self.n, Token(1));
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Token>, _from: NodeIdx, msg: Token) {
+            self.seen.push(msg.0);
+            if msg.0 < self.limit {
+                ctx.send((ctx.me() + 1) % self.n, Token(msg.0 + 1));
+            }
+        }
+
+        fn on_down(&mut self) {
+            self.down_count += 1;
+        }
+
+        fn on_up(&mut self, _ctx: &mut Ctx<'_, Token>) {
+            self.up_count += 1;
+        }
+    }
+
+    fn ring_sim(n: usize, limit: u64, seed: u64) -> Simulator<RingNode> {
+        let topology = Topology::uniform(n, 1_000, 2_000);
+        Simulator::new(topology, seed, |_| RingNode {
+            n,
+            limit,
+            seen: Vec::new(),
+            down_count: 0,
+            up_count: 0,
+        })
+    }
+
+    #[test]
+    fn token_circulates_deterministically() {
+        let mut sim = ring_sim(5, 20, 42);
+        assert!(sim.run_until_quiet(10_000));
+        // Token values 1..=20 were each seen exactly once across the ring.
+        let all: Vec<u64> = {
+            let mut v: Vec<u64> = sim.apps().flat_map(|a| a.seen.iter().copied()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(all, (1..=20).collect::<Vec<u64>>());
+
+        // Re-run with the same seed: identical final time.
+        let mut sim2 = ring_sim(5, 20, 42);
+        sim2.run_until_quiet(10_000);
+        assert_eq!(sim.now(), sim2.now());
+        // Different seed: (almost surely) different final time.
+        let mut sim3 = ring_sim(5, 20, 43);
+        sim3.run_until_quiet(10_000);
+        assert_ne!(sim.now(), sim3.now());
+    }
+
+    #[test]
+    fn time_is_monotone_and_bounded_by_hops() {
+        let mut sim = ring_sim(4, 10, 7);
+        let mut last = SimTime::ZERO;
+        while let Some(t) = sim.step() {
+            assert!(t >= last);
+            last = t;
+        }
+        // 10 hops, each between 1ms and 2ms.
+        assert!(last >= SimTime::from_micros(10_000));
+        assert!(last <= SimTime::from_micros(20_000));
+    }
+
+    #[test]
+    fn dead_nodes_drop_messages() {
+        let mut sim = ring_sim(3, 30, 1);
+        sim.schedule_down(1, SimTime::from_micros(1));
+        sim.run_until_quiet(10_000);
+        // The token dies when it reaches node 1.
+        assert_eq!(sim.app(1).seen.len(), 0);
+        assert_eq!(sim.app(1).down_count, 1);
+        assert!(sim.messages_dropped() >= 1);
+    }
+
+    #[test]
+    fn revival_calls_on_up() {
+        let mut sim = ring_sim(3, 1, 2);
+        sim.schedule_down(2, SimTime::from_micros(10));
+        sim.schedule_up(2, SimTime::from_micros(20));
+        sim.run_until_quiet(1_000);
+        assert_eq!(sim.app(2).down_count, 1);
+        assert_eq!(sim.app(2).up_count, 1);
+        assert!(sim.alive(2));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = ring_sim(5, 1_000, 3);
+        sim.run_until(SimTime::from_micros(5_000));
+        assert!(sim.now() <= SimTime::from_micros(5_000));
+        // Queue still has pending work.
+        assert!(!sim.run_until_quiet(0));
+    }
+
+    #[test]
+    fn with_app_injects_work() {
+        let mut sim = ring_sim(4, 5, 9);
+        sim.run_until_quiet(10_000);
+        let before = sim.traffic().total_msgs();
+        sim.with_app(2, |_node, ctx| ctx.send(3, Token(100)));
+        sim.run_until_quiet(10_000);
+        assert_eq!(sim.traffic().total_msgs(), before + 1);
+        assert!(sim.app(3).seen.contains(&100));
+    }
+
+    #[test]
+    fn traffic_ledger_counts_sends_and_receives() {
+        let mut sim = ring_sim(2, 4, 5);
+        sim.run_until_quiet(1_000);
+        let sent: u64 = (0..2).map(|i| sim.traffic().node(i).msgs_sent).sum();
+        let recv: u64 = (0..2).map(|i| sim.traffic().node(i).msgs_recv).sum();
+        assert_eq!(sent, 4);
+        assert_eq!(recv, 4);
+    }
+
+    #[test]
+    fn lossy_topology_drops_messages() {
+        let topology = Topology::uniform(2, 100, 100).with_loss(1.0);
+        let mut sim = Simulator::new(topology, 4, |_| RingNode {
+            n: 2,
+            limit: 10,
+            seen: Vec::new(),
+            down_count: 0,
+            up_count: 0,
+        });
+        sim.run_until_quiet(1_000);
+        assert_eq!(sim.app(1).seen.len(), 0);
+        assert_eq!(sim.messages_dropped(), 1);
+    }
+
+    #[test]
+    fn compute_charges_accumulate() {
+        let mut sim = ring_sim(2, 1, 6);
+        sim.with_app(0, |_n, ctx| {
+            ctx.charge_compute(ComputeKind::FlTask, SimDuration::from_millis(3));
+            ctx.charge_compute(ComputeKind::DhtTask, SimDuration::from_millis(1));
+            ctx.charge_compute(ComputeKind::FlTask, SimDuration::from_millis(2));
+        });
+        assert_eq!(sim.compute().fl_us[0], 5_000);
+        assert_eq!(sim.compute().dht_us[0], 1_000);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        #[derive(Clone)]
+        struct Nothing;
+        impl Payload for Nothing {
+            fn size_bytes(&self) -> usize {
+                0
+            }
+        }
+        impl Application for TimerNode {
+            type Msg = Nothing;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Nothing>) {
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Nothing>, _: NodeIdx, _: Nothing) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_, Nothing>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut sim = Simulator::new(Topology::uniform(1, 0, 0), 0, |_| TimerNode {
+            fired: Vec::new(),
+        });
+        sim.run_until_quiet(100);
+        assert_eq!(sim.app(0).fired, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,346 @@
+//! Network topology: per-pair latency, bandwidth, and loss models.
+//!
+//! Edge links in the paper are "unpredictable and vary stochastically"
+//! (§2.2.2). The topology therefore exposes a *distribution* of delays per
+//! node pair: a deterministic propagation component derived from geography
+//! plus multiplicative jitter, a transmission component derived from the
+//! bottleneck bandwidth, and an independent per-message loss probability.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::geo::{GeoPoint, PlacedNode};
+use crate::time::SimDuration;
+
+/// Index of a node inside a [`Topology`] / simulator.
+pub type NodeIdx = usize;
+
+/// Latency model choices.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Propagation delay proportional to geographic distance.
+    Geo {
+        /// Fixed one-way base latency in microseconds (stack + first hop).
+        base_us: u64,
+        /// Additional one-way microseconds per kilometre of distance.
+        per_km_us: f64,
+    },
+    /// Uniform one-way delay between `min_us` and `max_us`; useful for unit
+    /// tests and experiments that do not care about geography.
+    Uniform {
+        /// Minimum one-way delay, microseconds.
+        min_us: u64,
+        /// Maximum one-way delay, microseconds.
+        max_us: u64,
+    },
+}
+
+/// Per-node capability class, used for heterogeneity experiments (§7.5).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NodeProfile {
+    /// Uplink/downlink bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Relative compute speed (1.0 = reference edge node); training time is
+    /// divided by this factor.
+    pub compute_speed: f64,
+    /// Number of CPU cores, used by virtual-node mapping.
+    pub cores: u32,
+}
+
+impl Default for NodeProfile {
+    fn default() -> Self {
+        NodeProfile {
+            bandwidth_bps: 50_000_000, // 50 Mbps
+            compute_speed: 1.0,
+            cores: 2,
+        }
+    }
+}
+
+/// Reference edge-device compute rate (FLOP/s) at `compute_speed = 1.0`.
+/// Shared by every engine in the workspace so training-time charging is
+/// identical across compared systems.
+pub const BASE_EDGE_FLOPS: f64 = 2.0e8;
+
+impl NodeProfile {
+    /// Simulated time this node needs to crunch `flops`.
+    pub fn compute_time(&self, flops: u64) -> SimDuration {
+        SimDuration::from_secs_f64(flops as f64 / (BASE_EDGE_FLOPS * self.compute_speed.max(1e-6)))
+    }
+}
+
+/// The immutable network substrate shared by all protocol layers.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    points: Vec<GeoPoint>,
+    regions: Vec<u16>,
+    profiles: Vec<NodeProfile>,
+    latency: LatencyModel,
+    /// Multiplicative jitter amplitude: sampled delay is scaled by a factor
+    /// drawn uniformly from `[1, 1 + jitter]`.
+    jitter: f64,
+    /// Probability that any single message is lost in transit.
+    loss_prob: f64,
+}
+
+impl Topology {
+    /// Builds a topology from geographic placements with default profiles.
+    pub fn from_placements(nodes: &[PlacedNode], latency: LatencyModel) -> Self {
+        Topology {
+            points: nodes.iter().map(|n| n.point).collect(),
+            regions: nodes.iter().map(|n| n.region).collect(),
+            profiles: vec![NodeProfile::default(); nodes.len()],
+            latency,
+            jitter: 0.2,
+            loss_prob: 0.0,
+        }
+    }
+
+    /// Builds a topology from explicit parts (used e.g. by virtual-node
+    /// expansion, which replicates points/profiles).
+    pub fn from_parts(
+        points: Vec<GeoPoint>,
+        regions: Vec<u16>,
+        profiles: Vec<NodeProfile>,
+        latency: LatencyModel,
+    ) -> Self {
+        assert_eq!(points.len(), regions.len());
+        assert_eq!(points.len(), profiles.len());
+        Topology {
+            points,
+            regions,
+            profiles,
+            latency,
+            jitter: 0.2,
+            loss_prob: 0.0,
+        }
+    }
+
+    /// Builds an `n`-node topology with no geography and a uniform latency
+    /// band — the workhorse for protocol unit tests.
+    pub fn uniform(n: usize, min_us: u64, max_us: u64) -> Self {
+        Topology {
+            points: vec![GeoPoint::new(0.0, 0.0); n],
+            regions: vec![0; n],
+            profiles: vec![NodeProfile::default(); n],
+            latency: LatencyModel::Uniform { min_us, max_us },
+            jitter: 0.0,
+            loss_prob: 0.0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the topology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Sets the multiplicative jitter amplitude (0 = deterministic delays).
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.max(0.0);
+        self
+    }
+
+    /// Sets the independent per-message loss probability.
+    pub fn with_loss(mut self, loss_prob: f64) -> Self {
+        self.loss_prob = loss_prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Overrides the capability profile of node `i`.
+    pub fn set_profile(&mut self, i: NodeIdx, profile: NodeProfile) {
+        self.profiles[i] = profile;
+    }
+
+    /// Returns the capability profile of node `i`.
+    pub fn profile(&self, i: NodeIdx) -> NodeProfile {
+        self.profiles[i]
+    }
+
+    /// Returns the geographic position of node `i`.
+    pub fn point(&self, i: NodeIdx) -> GeoPoint {
+        self.points[i]
+    }
+
+    /// Returns the region id of node `i`.
+    pub fn region(&self, i: NodeIdx) -> u16 {
+        self.regions[i]
+    }
+
+    /// Deterministic expected one-way propagation delay between two nodes.
+    pub fn propagation(&self, a: NodeIdx, b: NodeIdx) -> SimDuration {
+        match self.latency {
+            LatencyModel::Geo { base_us, per_km_us } => {
+                let d = self.points[a].distance_km(&self.points[b]);
+                SimDuration::from_micros(base_us + (d * per_km_us).round() as u64)
+            }
+            LatencyModel::Uniform { min_us, max_us } => {
+                SimDuration::from_micros((min_us + max_us) / 2)
+            }
+        }
+    }
+
+    /// Deterministic expected round-trip time, used by distributed binning.
+    pub fn rtt(&self, a: NodeIdx, b: NodeIdx) -> SimDuration {
+        self.propagation(a, b).saturating_mul(2)
+    }
+
+    /// Samples the one-way delay for a message of `size_bytes` from `a` to
+    /// `b`: propagation (with jitter) plus bottleneck transmission time.
+    pub fn sample_delay(
+        &self,
+        a: NodeIdx,
+        b: NodeIdx,
+        size_bytes: usize,
+        rng: &mut StdRng,
+    ) -> SimDuration {
+        let prop_us = match self.latency {
+            LatencyModel::Geo { base_us, per_km_us } => {
+                let d = self.points[a].distance_km(&self.points[b]);
+                base_us as f64 + d * per_km_us
+            }
+            LatencyModel::Uniform { min_us, max_us } => {
+                if max_us > min_us {
+                    rng.gen_range(min_us..=max_us) as f64
+                } else {
+                    min_us as f64
+                }
+            }
+        };
+        let jitter_factor = if self.jitter > 0.0 {
+            1.0 + rng.gen::<f64>() * self.jitter
+        } else {
+            1.0
+        };
+        let bw = self.profiles[a]
+            .bandwidth_bps
+            .min(self.profiles[b].bandwidth_bps)
+            .max(1);
+        let tx_us = (size_bytes as f64 * 8.0 / bw as f64) * 1_000_000.0;
+        SimDuration::from_micros(((prop_us * jitter_factor) + tx_us).round() as u64)
+    }
+
+    /// Samples whether a message is lost in transit.
+    pub fn sample_loss(&self, rng: &mut StdRng) -> bool {
+        self.loss_prob > 0.0 && rng.gen::<f64>() < self.loss_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::{eua_regions_scaled, generate};
+    use crate::rng::sub_rng;
+
+    fn geo_topology(n: usize) -> Topology {
+        let mut rng = sub_rng(11, "topo-test");
+        let nodes = generate(&eua_regions_scaled(n), &mut rng);
+        Topology::from_placements(
+            &nodes,
+            LatencyModel::Geo {
+                base_us: 500,
+                per_km_us: 5.0,
+            },
+        )
+    }
+
+    #[test]
+    fn propagation_is_symmetric() {
+        let t = geo_topology(100);
+        for (a, b) in [(0, 1), (5, 50), (10, 99)] {
+            assert_eq!(t.propagation(a, b), t.propagation(b, a));
+        }
+    }
+
+    #[test]
+    fn rtt_is_twice_propagation() {
+        let t = geo_topology(50);
+        assert_eq!(
+            t.rtt(3, 7).as_micros(),
+            2 * t.propagation(3, 7).as_micros()
+        );
+    }
+
+    #[test]
+    fn nearby_nodes_have_lower_latency_than_far_ones() {
+        let t = geo_topology(300);
+        // Find an intra-region pair and an inter-region pair.
+        let mut intra = None;
+        let mut inter = None;
+        'outer: for a in 0..t.len() {
+            for b in (a + 1)..t.len() {
+                if t.region(a) == t.region(b) && intra.is_none() {
+                    intra = Some((a, b));
+                }
+                if t.region(a) != t.region(b)
+                    && t.point(a).distance_km(&t.point(b)) > 1_500.0
+                    && inter.is_none()
+                {
+                    inter = Some((a, b));
+                }
+                if intra.is_some() && inter.is_some() {
+                    break 'outer;
+                }
+            }
+        }
+        let (ia, ib) = intra.expect("intra-region pair");
+        let (xa, xb) = inter.expect("inter-region pair");
+        assert!(t.propagation(ia, ib) < t.propagation(xa, xb));
+    }
+
+    #[test]
+    fn transmission_time_scales_with_size() {
+        let t = Topology::uniform(2, 1_000, 1_000);
+        let mut rng = sub_rng(1, "tx");
+        let small = t.sample_delay(0, 1, 1_000, &mut rng);
+        let big = t.sample_delay(0, 1, 10_000_000, &mut rng);
+        assert!(big.as_micros() > small.as_micros() + 1_000_000);
+    }
+
+    #[test]
+    fn jitter_zero_is_deterministic() {
+        let t = Topology::uniform(2, 700, 700);
+        let mut rng = sub_rng(2, "det");
+        let d1 = t.sample_delay(0, 1, 100, &mut rng);
+        let d2 = t.sample_delay(0, 1, 100, &mut rng);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn loss_probability_is_respected() {
+        let t = Topology::uniform(2, 1, 1).with_loss(0.5);
+        let mut rng = sub_rng(3, "loss");
+        let lost = (0..10_000).filter(|_| t.sample_loss(&mut rng)).count();
+        assert!((4_000..6_000).contains(&lost), "lost = {lost}");
+        let t0 = Topology::uniform(2, 1, 1);
+        assert!(!(0..100).any(|_| t0.sample_loss(&mut rng)));
+    }
+
+    #[test]
+    fn bottleneck_bandwidth_is_min_of_endpoints() {
+        let mut t = Topology::uniform(2, 0, 0);
+        t.set_profile(
+            0,
+            NodeProfile {
+                bandwidth_bps: 8_000_000,
+                ..NodeProfile::default()
+            },
+        );
+        t.set_profile(
+            1,
+            NodeProfile {
+                bandwidth_bps: 80_000_000,
+                ..NodeProfile::default()
+            },
+        );
+        let mut rng = sub_rng(4, "bw");
+        // 1 MB over 8 Mbps = 1 second.
+        let d = t.sample_delay(0, 1, 1_000_000, &mut rng);
+        assert_eq!(d.as_micros(), 1_000_000);
+    }
+}

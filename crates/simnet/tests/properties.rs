@@ -1,0 +1,53 @@
+//! Property-based tests for the simulator substrate.
+
+use proptest::prelude::*;
+use totoro_simnet::traffic::{tcp_wire_bytes, udp_wire_bytes};
+use totoro_simnet::{derive_seed, SimDuration, SimTime};
+
+proptest! {
+    /// Time arithmetic is associative/consistent in the saturating sense.
+    #[test]
+    fn time_add_sub_round_trip(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+        let time = SimTime::from_micros(t);
+        let dur = SimDuration::from_micros(d);
+        prop_assert_eq!(((time + dur) - time).as_micros(), d);
+        prop_assert_eq!(time.saturating_since(time + dur), SimDuration::ZERO);
+        prop_assert_eq!((time + dur).saturating_since(time), dur);
+    }
+
+    /// Duration addition is commutative and monotone.
+    #[test]
+    fn duration_laws(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let (x, y) = (SimDuration::from_micros(a), SimDuration::from_micros(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert!(x + y >= x);
+    }
+
+    /// Wire sizes are monotone in payload and TCP always costs more than
+    /// UDP, which always costs more than the payload itself.
+    #[test]
+    fn wire_size_laws(p in 0usize..10_000_000, q in 0usize..10_000_000) {
+        prop_assert!(tcp_wire_bytes(p) > udp_wire_bytes(p));
+        prop_assert!(udp_wire_bytes(p) >= p);
+        if p <= q {
+            prop_assert!(tcp_wire_bytes(p) <= tcp_wire_bytes(q));
+            prop_assert!(udp_wire_bytes(p) <= udp_wire_bytes(q));
+        }
+    }
+
+    /// Seed derivation is deterministic and label-sensitive.
+    #[test]
+    fn seed_derivation_laws(root in any::<u64>(), label in "[a-z]{0,16}") {
+        prop_assert_eq!(derive_seed(root, &label), derive_seed(root, &label));
+        prop_assert_ne!(derive_seed(root, &label), derive_seed(root ^ 1, &label));
+    }
+
+    /// Seconds conversion round-trips within a microsecond.
+    #[test]
+    fn secs_conversion(us in 0u64..10_000_000_000u64) {
+        let d = SimDuration::from_micros(us);
+        let back = SimDuration::from_secs_f64(d.as_secs_f64());
+        let diff = back.as_micros().abs_diff(us);
+        prop_assert!(diff <= 1 + us / 1_000_000_000, "diff {diff}");
+    }
+}

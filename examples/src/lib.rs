@@ -1,0 +1,18 @@
+//! Runnable example applications for the Totoro engine.
+//!
+//! * `quickstart` — the smallest end-to-end run: one FL application
+//!   trained to target accuracy over a simulated edge overlay.
+//! * `smart_health` — the paper's motivating Smart Health scenario (§1):
+//!   several FL applications with different policies training concurrently
+//!   on the same devices.
+//! * `traffic_detection` — the multi-ring scenario (§4.2/§4.4): a road
+//!   traffic application spanning zones next to a zone-restricted medical
+//!   application whose packets never leave their edge site.
+//! * `churn_resilience` — training through churn: node failures, tree
+//!   repair, master takeover (§4.5).
+//! * `path_planning` — the §5 bandit path planner on an unreliable edge
+//!   network, compared against its baselines.
+//!
+//! Run with `cargo run --release -p totoro-examples --bin <name>`.
+
+#![forbid(unsafe_code)]

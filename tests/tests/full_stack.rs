@@ -1,0 +1,443 @@
+//! Cross-crate integration tests: the complete Totoro stack versus the
+//! centralized baselines, zone isolation end-to-end, and the bandit planner
+//! plugged into realistic link statistics.
+
+use std::sync::Arc;
+
+use totoro::{FlAppConfig, TotoroDeployment};
+use totoro_baselines::{CentralizedEngine, ServerProfile};
+use totoro_dht::{ids_for_zones, DhtConfig};
+use totoro_ml::{text_classification_like, AggregationRule, TaskGenerator};
+use totoro_pubsub::ForestConfig;
+use totoro_simnet::{assign_zones, sub_rng, BinningConfig, SimTime, Topology};
+
+const HOUR: u64 = 3_600 * 1_000_000;
+
+/// Identical workloads on Totoro and on a centralized engine must produce
+/// comparable model quality — the architectures differ, not the learning.
+#[test]
+fn totoro_and_centralized_reach_similar_accuracy() {
+    let n = 20;
+    let seed = 31;
+    let mut rng = sub_rng(seed, "task");
+    let generator = TaskGenerator::new(text_classification_like(), &mut rng);
+    let test_set = Arc::new(generator.test_set(300, &mut rng));
+
+    let mk_cfg = |test_set: &Arc<totoro_ml::Dataset>| {
+        let mut cfg = FlAppConfig::new(
+            "parity",
+            vec![generator.spec.dim, 32, generator.spec.classes],
+            Arc::clone(test_set),
+        );
+        cfg.target_accuracy = 2.0;
+        cfg.max_rounds = 8;
+        cfg.seed = 99;
+        cfg
+    };
+
+    // Totoro.
+    let mut shard_rng = sub_rng(seed, "shards");
+    let shards = generator.client_shards(n, 40, 0.5, &mut shard_rng);
+    let mut deploy = TotoroDeployment::new(
+        Topology::uniform(n, 1_000, 5_000),
+        seed,
+        DhtConfig::default(),
+        ForestConfig::default(),
+    );
+    let app = deploy.submit_app(mk_cfg(&test_set), &(0..n).collect::<Vec<_>>(), shards);
+    deploy.run(SimTime::from_micros(HOUR));
+    let totoro_best = deploy
+        .curve(app)
+        .iter()
+        .map(|p| p.accuracy)
+        .fold(0.0, f64::max);
+
+    // Centralized.
+    let mut shard_rng = sub_rng(seed, "shards");
+    let shards = generator.client_shards(n, 40, 0.5, &mut shard_rng);
+    let mut engine = CentralizedEngine::new(
+        Topology::uniform(n + 1, 1_000, 5_000),
+        ServerProfile::fedscale_like(),
+        seed,
+    );
+    let cfg = mk_cfg(&test_set);
+    let spec = totoro_baselines::AppSpec {
+        name: cfg.name.clone(),
+        model_dims: cfg.model_dims.clone(),
+        aggregation: AggregationRule::FedAvg,
+        local_epochs: cfg.local_epochs,
+        batch_size: cfg.batch_size,
+        lr: cfg.lr,
+        target_accuracy: cfg.target_accuracy,
+        max_rounds: cfg.max_rounds,
+        test_set: Arc::clone(&cfg.test_set),
+        seed: cfg.seed,
+    };
+    let capp = engine.submit_app(spec, &(1..=n).collect::<Vec<_>>(), shards);
+    engine.run(SimTime::from_micros(HOUR));
+    let central_best = engine
+        .server()
+        .curve(capp)
+        .iter()
+        .map(|p| p.accuracy)
+        .fold(0.0, f64::max);
+
+    assert!(totoro_best > 0.7, "totoro best {totoro_best}");
+    assert!(central_best > 0.7, "central best {central_best}");
+    assert!(
+        (totoro_best - central_best).abs() < 0.15,
+        "architectures diverged in quality: totoro {totoro_best} vs central {central_best}"
+    );
+}
+
+/// With more concurrent apps, Totoro's completion time stays nearly flat
+/// while the centralized engine's grows — the paper's core systems claim.
+#[test]
+fn totoro_scales_flatter_than_centralized() {
+    let n = 16;
+    let seed = 32;
+    let rounds = 4;
+    let mut rng = sub_rng(seed, "task");
+    let generator = TaskGenerator::new(text_classification_like(), &mut rng);
+
+    let totoro_time = |apps: usize| -> f64 {
+        let mut deploy = TotoroDeployment::new(
+            Topology::uniform(n, 1_000, 5_000),
+            seed,
+            DhtConfig::default(),
+            ForestConfig::default(),
+        );
+        let mut rng = sub_rng(seed, "shards");
+        for a in 0..apps {
+            let shards = generator.client_shards(n, 30, 0.5, &mut rng);
+            let mut cfg = FlAppConfig::new(
+                &format!("flat-{a}"),
+                vec![generator.spec.dim, 24, generator.spec.classes],
+                Arc::new(generator.test_set(150, &mut rng)),
+            );
+            cfg.salt = a as u64;
+            cfg.target_accuracy = 2.0;
+            cfg.max_rounds = rounds;
+            deploy.submit_app(cfg, &(0..n).collect::<Vec<_>>(), shards);
+        }
+        deploy.run(SimTime::from_micros(HOUR));
+        (0..apps)
+            .filter_map(|a| deploy.curve(a).last().map(|p| p.time_secs))
+            .fold(0.0, f64::max)
+    };
+
+    let central_time = |apps: usize| -> f64 {
+        let mut engine = CentralizedEngine::new(
+            Topology::uniform(n + 1, 1_000, 5_000),
+            ServerProfile::openfl_like(),
+            seed,
+        );
+        let mut rng = sub_rng(seed, "shards");
+        for a in 0..apps {
+            let shards = generator.client_shards(n, 30, 0.5, &mut rng);
+            let spec = totoro_baselines::AppSpec {
+                name: format!("flat-{a}"),
+                model_dims: vec![generator.spec.dim, 24, generator.spec.classes],
+                aggregation: AggregationRule::FedAvg,
+                local_epochs: 1,
+                batch_size: 20,
+                lr: 0.1,
+                target_accuracy: 2.0,
+                max_rounds: rounds,
+                test_set: Arc::new(generator.test_set(150, &mut rng)),
+                seed: 1_000 + a as u64,
+            };
+            engine.submit_app(spec, &(1..=n).collect::<Vec<_>>(), shards);
+        }
+        engine.run(SimTime::from_micros(HOUR));
+        let server = engine.server();
+        (0..apps)
+            .filter_map(|a| server.curve(a).last().map(|p| p.time_secs))
+            .fold(0.0, f64::max)
+    };
+
+    let t1 = totoro_time(1);
+    let t6 = totoro_time(6);
+    let c1 = central_time(1);
+    let c6 = central_time(6);
+    let totoro_growth = t6 / t1.max(1e-9);
+    let central_growth = c6 / c1.max(1e-9);
+    assert!(
+        totoro_growth < 2.0,
+        "totoro not flat: {t1:.0}s -> {t6:.0}s"
+    );
+    assert!(
+        central_growth > 1.5 * totoro_growth,
+        "centralized should queue: totoro x{totoro_growth:.2} vs central x{central_growth:.2}"
+    );
+}
+
+/// Administrative isolation end-to-end: a zone-restricted FL application
+/// trains entirely within its home zone while a global app spans zones.
+#[test]
+fn zone_restricted_training_never_leaves_home() {
+    let n = 60;
+    let seed = 33;
+    let zone_bits = 4;
+    let topology = Topology::uniform(n, 1_000, 5_000);
+    let mut rng = sub_rng(seed, "zones");
+    // Two synthetic zones split by index (binning needs geography; here we
+    // assign directly to keep the test focused on routing isolation).
+    let zones: Vec<u16> = (0..n).map(|i| u16::from(i >= n / 2)).collect();
+    let ids = ids_for_zones(&zones, zone_bits, &mut rng);
+
+    let mut deploy = TotoroDeployment::with_ids(
+        topology,
+        seed,
+        DhtConfig {
+            zone_bits,
+            ..DhtConfig::default()
+        },
+        ForestConfig {
+            zone_restricted: true,
+            ..ForestConfig::default()
+        },
+        ids,
+    );
+    let generator = TaskGenerator::new(text_classification_like(), &mut rng);
+    let home: Vec<usize> = (0..n / 2).collect();
+    let shards = generator.client_shards(home.len(), 40, 0.5, &mut rng);
+    let mut cfg = FlAppConfig::new(
+        "regional",
+        vec![generator.spec.dim, 24, generator.spec.classes],
+        Arc::new(generator.test_set(150, &mut rng)),
+    );
+    cfg.zone_restricted = true;
+    cfg.home_zone = Some((0, zone_bits));
+    cfg.target_accuracy = 2.0;
+    cfg.max_rounds = 5;
+    let app = deploy.submit_app(cfg, &home, shards);
+    deploy.run(SimTime::from_micros(HOUR));
+
+    assert_eq!(
+        deploy.curve(app).last().map(|p| p.round),
+        Some(5),
+        "restricted app failed to train"
+    );
+    // Nothing tree-related ever landed on a foreign-zone node.
+    let topic = deploy.config(app).app_id();
+    for i in n / 2..n {
+        assert!(
+            deploy.sim().app(i).upper.state.membership(topic).is_none(),
+            "foreign node {i} touched the restricted tree"
+        );
+    }
+    // The master is a home-zone node.
+    let master = deploy.master_of(app).expect("master exists");
+    assert!(master < n / 2, "master {master} is foreign");
+}
+
+/// Distributed binning + multi-ring ids + FL: an end-to-end geographic run.
+#[test]
+fn geographic_multi_ring_deployment_trains() {
+    let seed = 34;
+    let mut rng = sub_rng(seed, "geo");
+    let nodes = totoro_simnet::geo::generate(
+        &totoro_simnet::geo::eua_regions_scaled(80),
+        &mut rng,
+    );
+    let topology = Topology::from_placements(
+        &nodes,
+        totoro_simnet::LatencyModel::Geo {
+            base_us: 500,
+            per_km_us: 5.0,
+        },
+    );
+    let n = topology.len();
+    let zones = assign_zones(&topology, &BinningConfig::default(), &mut rng);
+    let ids = ids_for_zones(&zones.zone_of, 4, &mut rng);
+    let mut deploy = TotoroDeployment::with_ids(
+        topology,
+        seed,
+        DhtConfig {
+            zone_bits: 4,
+            ..DhtConfig::default()
+        },
+        ForestConfig::default(),
+        ids,
+    );
+    let generator = TaskGenerator::new(text_classification_like(), &mut rng);
+    let shards = generator.client_shards(n, 30, 0.5, &mut rng);
+    let mut cfg = FlAppConfig::new(
+        "geo-app",
+        vec![generator.spec.dim, 24, generator.spec.classes],
+        Arc::new(generator.test_set(150, &mut rng)),
+    );
+    cfg.target_accuracy = 0.8;
+    cfg.max_rounds = 20;
+    let app = deploy.submit_app(cfg, &(0..n).collect::<Vec<_>>(), shards);
+    deploy.run(SimTime::from_micros(HOUR));
+    let best = deploy
+        .curve(app)
+        .iter()
+        .map(|p| p.accuracy)
+        .fold(0.0, f64::max);
+    assert!(best >= 0.8, "geo deployment best accuracy {best}");
+}
+
+/// Secure aggregation composes with the multi-ring zone restriction: a
+/// regional medical app trains privately inside its zone.
+#[test]
+fn secure_aggregation_inside_a_restricted_zone() {
+    let n = 40;
+    let seed = 35;
+    let zone_bits = 4;
+    let mut rng = sub_rng(seed, "zones");
+    let zones: Vec<u16> = (0..n).map(|i| u16::from(i >= n / 2)).collect();
+    let ids = ids_for_zones(&zones, zone_bits, &mut rng);
+    let mut deploy = TotoroDeployment::with_ids(
+        Topology::uniform(n, 1_000, 5_000),
+        seed,
+        DhtConfig {
+            zone_bits,
+            ..DhtConfig::default()
+        },
+        ForestConfig {
+            zone_restricted: true,
+            ..ForestConfig::default()
+        },
+        ids,
+    );
+    let generator = TaskGenerator::new(text_classification_like(), &mut rng);
+    let home: Vec<usize> = (0..n / 2).collect();
+    let shards = generator.client_shards(home.len(), 50, 0.5, &mut rng);
+    let mut cfg = FlAppConfig::new(
+        "regional-private",
+        vec![generator.spec.dim, 32, generator.spec.classes],
+        Arc::new(generator.test_set(200, &mut rng)),
+    );
+    cfg.zone_restricted = true;
+    cfg.home_zone = Some((0, zone_bits));
+    cfg.privacy = totoro_ml::Privacy::SecureAggregation;
+    cfg.target_accuracy = 0.85;
+    cfg.max_rounds = 25;
+    let app = deploy.submit_app(cfg, &home, shards);
+    deploy.run(SimTime::from_micros(HOUR));
+
+    let best = deploy
+        .curve(app)
+        .iter()
+        .map(|p| p.accuracy)
+        .fold(0.0, f64::max);
+    assert!(best >= 0.85, "masked regional training failed: {best}");
+    // Isolation still holds.
+    let topic = deploy.config(app).app_id();
+    for i in n / 2..n {
+        assert!(
+            deploy.sim().app(i).upper.state.membership(topic).is_none(),
+            "foreign node {i} touched the private tree"
+        );
+    }
+}
+
+/// The bandit planner's statistics and the DHT's failure detector agree on
+/// a flaky environment: replans strictly reduce attachment time to flaky
+/// parents versus hard timeouts alone.
+#[test]
+fn replan_ablation_attaches_faster_than_timeout_only() {
+    use totoro_pubsub::{Forest, ForestConfig};
+
+    let run = |replan: Option<f64>| -> u64 {
+        let n = 40;
+        let fconfig = ForestConfig {
+            fanout_cap: 4,
+            replan_cost_threshold: replan,
+            ..ForestConfig::default()
+        };
+        let topology = Topology::uniform(n, 1_000, 5_000);
+        let (mut sim, _ids) = totoro_dht::spawn_overlay(
+            topology,
+            36,
+            DhtConfig::default(),
+            None,
+            |_i| Forest::new(EchoBlank, fconfig),
+        );
+        let topic = totoro_dht::app_id("flaky-ablation", "x", 1);
+        for i in 0..n {
+            sim.with_app(i, |node, ctx| {
+                node.with_api(ctx, |forest, dht| {
+                    forest.with_forest_api(dht, |_a, api| api.subscribe(topic));
+                });
+            });
+        }
+        sim.run_until(SimTime::from_micros(20 * 1_000_000));
+        // Blink an interior node forever.
+        let flaky = (0..n)
+            .find(|&i| {
+                sim.app(i)
+                    .upper
+                    .state
+                    .membership(topic)
+                    .is_some_and(|m| !m.children.is_empty() && !m.is_root)
+            })
+            .expect("interior node");
+        let mut t = 21_000_000u64;
+        while t < 200_000_000 {
+            sim.schedule_down(flaky, SimTime::from_micros(t));
+            sim.schedule_up(flaky, SimTime::from_micros(t + 2_400_000));
+            t += 2_800_000;
+        }
+        sim.run_until(SimTime::from_micros(240 * 1_000_000));
+        // Count how many nodes remain glued to the flaky parent.
+        (0..n)
+            .filter(|&i| {
+                sim.app(i)
+                    .upper
+                    .state
+                    .membership(topic)
+                    .is_some_and(|m| m.parent.map(|p| p.addr) == Some(flaky))
+            })
+            .count() as u64
+    };
+    let with_replan = run(Some(2.0));
+    let without = run(None);
+    assert!(
+        with_replan <= without,
+        "replanning left more nodes on the flaky parent: {with_replan} vs {without}"
+    );
+}
+
+/// Trivial echo app used by the replan ablation.
+struct EchoBlank;
+
+impl totoro_pubsub::ForestApp for EchoBlank {
+    type Data = BlankData;
+
+    fn on_model(
+        &mut self,
+        _api: &mut totoro_pubsub::ForestApi<'_, '_, '_, BlankData>,
+        _topic: totoro_dht::Id,
+        _round: u64,
+        _data: &BlankData,
+    ) -> Option<(BlankData, totoro_simnet::SimDuration)> {
+        None
+    }
+
+    fn on_aggregated(
+        &mut self,
+        _api: &mut totoro_pubsub::ForestApi<'_, '_, '_, BlankData>,
+        _topic: totoro_dht::Id,
+        _round: u64,
+        _data: BlankData,
+        _count: u64,
+    ) {
+    }
+}
+
+#[derive(Clone, Debug)]
+struct BlankData;
+
+impl totoro_simnet::Payload for BlankData {
+    fn size_bytes(&self) -> usize {
+        4
+    }
+}
+
+impl totoro_pubsub::TreeData for BlankData {
+    fn combine(&mut self, _other: &Self) {}
+}
