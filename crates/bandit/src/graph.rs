@@ -159,11 +159,7 @@ impl LinkGraph {
     /// Least-cost distance from every vertex to `d` under a per-edge cost
     /// function (Bellman–Ford on the reversed graph; costs must be
     /// non-negative). Returns `None` when `d` is out of range.
-    pub fn shortest_costs_to(
-        &self,
-        d: Vertex,
-        cost: impl Fn(EdgeId) -> f64,
-    ) -> Option<Vec<f64>> {
+    pub fn shortest_costs_to(&self, d: Vertex, cost: impl Fn(EdgeId) -> f64) -> Option<Vec<f64>> {
         if d >= self.num_vertices() {
             return None;
         }

@@ -401,8 +401,12 @@ mod tests {
         let mut r1 = rng(5);
         let mut r2 = rng(6);
         let k = 300;
-        let nh_total: u64 = (0..k).map(|_| nh.route_packet(&g, s, d, &mut r1).delay).sum();
-        let hb_total: u64 = (0..k).map(|_| hb.route_packet(&g, s, d, &mut r2).delay).sum();
+        let nh_total: u64 = (0..k)
+            .map(|_| nh.route_packet(&g, s, d, &mut r1).delay)
+            .sum();
+        let hb_total: u64 = (0..k)
+            .map(|_| hb.route_packet(&g, s, d, &mut r2).delay)
+            .sum();
         assert!(
             hb_total < nh_total,
             "hop-by-hop ({hb_total}) should beat next-hop ({nh_total}) on the trap"

@@ -336,20 +336,29 @@ impl Client {
         for _ in 0..spec.local_epochs {
             match prox {
                 Some((mu, global)) => {
-                    replica.train_epoch(&shard.xs, &shard.ys, spec.batch_size, spec.lr, Some((mu, global)));
+                    replica.train_epoch(
+                        &shard.xs,
+                        &shard.ys,
+                        spec.batch_size,
+                        spec.lr,
+                        Some((mu, global)),
+                    );
                 }
                 None => {
                     replica.train_epoch(&shard.xs, &shard.ys, spec.batch_size, spec.lr, None);
                 }
             }
         }
-        let flops =
-            replica.flops_per_sample() * (shard.len() * spec.local_epochs) as u64;
+        let flops = replica.flops_per_sample() * (shard.len() * spec.local_epochs) as u64;
         let speed = ctx.topology().profile(me).compute_speed;
         let train_time = compute_time(flops, speed);
         ctx.charge_compute(ComputeKind::FlTask, train_time);
         let update = ModelUpdate::from_client(&replica.to_weights(), shard.len() as u64);
-        ctx.send_after(self.server, CentralMsg::Upload { app, round, update }, train_time);
+        ctx.send_after(
+            self.server,
+            CentralMsg::Upload { app, round, update },
+            train_time,
+        );
     }
 }
 
@@ -424,7 +433,10 @@ impl Application for CentralNode {
                 .map(|a| a.model.num_params() * 8 + a.participants.len() * 8 + 256)
                 .sum(),
             CentralNode::Client(c) => {
-                c.replicas.values().map(|m| m.num_params() * 4).sum::<usize>()
+                c.replicas
+                    .values()
+                    .map(|m| m.num_params() * 4)
+                    .sum::<usize>()
                     + c.shards
                         .values()
                         .map(|s| s.len() * (s.dim() + 1) * 4)
@@ -556,7 +568,10 @@ mod tests {
         // Scheduling at a later time starts then, not at the stale slot.
         let end = q.schedule(late, SimDuration::from_secs(1));
         assert_eq!(end.as_micros(), 11_000_000);
-        assert_eq!(q.backlog(SimTime::from_micros(11_000_000)), SimDuration::ZERO);
+        assert_eq!(
+            q.backlog(SimTime::from_micros(11_000_000)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -6,12 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
 
 use totoro_bandit::{layered, LinkStats, Policy, Router};
-use totoro_dht::{
-    build_states, implicit_route_hops, next_hop, random_ids, DhtConfig, Id, NextHop,
-};
-use totoro_ml::{
-    quantize_int8, top_k, weights_to_bytes, Mlp, ModelUpdate, TaskGenerator,
-};
+use totoro_dht::{build_states, implicit_route_hops, next_hop, random_ids, DhtConfig, Id, NextHop};
+use totoro_ml::{quantize_int8, top_k, weights_to_bytes, Mlp, ModelUpdate, TaskGenerator};
 use totoro_simnet::sub_rng;
 
 fn bench_dht_routing(c: &mut Criterion) {
@@ -58,12 +54,7 @@ fn bench_dht_routing(c: &mut Criterion) {
             let mut k = 0u128;
             b.iter(|| {
                 k = k.wrapping_mul(6364136223846793005).wrapping_add(99);
-                std::hint::black_box(implicit_route_hops(
-                    &ids,
-                    (k as usize) % n,
-                    Id::new(k),
-                    4,
-                ))
+                std::hint::black_box(implicit_route_hops(&ids, (k as usize) % n, Id::new(k), 4))
             });
         });
     }

@@ -1,111 +1,7 @@
-//! Ablation: what does in-network aggregation buy?
-//!
-//! DESIGN.md calls out the forest's in-network combining as a core design
-//! choice (§4.3: interior nodes progressively aggregate, so the master
-//! receives O(fanout) messages instead of O(N)). This ablation sweeps the
-//! tree fanout cap (4 / 8 / uncapped JOIN-path tree) and contrasts the
-//! measured master-side load with the analytic star reference (a
-//! centralized server receiving every worker's update directly — the §3
-//! SplitStream discussion's failure mode). Deeper trees trade a longer
-//! aggregation makespan for an O(N/fanout)-fold cut in master load.
-//!
-//! Usage: `ablation_aggregation [--seed 1] [--update-kb 64]`
-
-use totoro_bench::report::{arg_u64, arg_usize, csv_block, f2, markdown_table};
-use totoro_bench::setups::{broadcast_from_root, build_tree, eua_topology, root_of, topic};
-use totoro_simnet::SimTime;
+//! Shim binary: runs the `ablation` scenario (in-network aggregation vs
+//! star ablation). Same flags as `totoro-bench ablation`.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = arg_u64(&args, "seed", 1);
-    let update_kb = arg_usize(&args, "update-kb", 64);
-
-    println!("# Ablation: in-network aggregation (tree) vs none (star)");
-
-    let mut rows = Vec::new();
-    for &n in &[64usize, 256, 1024] {
-        for (label, fanout) in [("tree-f4", 4usize), ("tree-f8", 8), ("uncapped", 0)] {
-            let (root_msgs, root_bytes, makespan_ms) = run(n, fanout, seed, update_kb * 1024);
-            rows.push(vec![
-                n.to_string(),
-                label.to_string(),
-                root_msgs.to_string(),
-                f2(root_bytes as f64 / 1024.0),
-                f2(makespan_ms),
-            ]);
-            println!(
-                "  n={n} {label}: master received {root_msgs} msgs / {:.0} KiB, round makespan {makespan_ms:.0} ms",
-                root_bytes as f64 / 1024.0
-            );
-        }
-        // Analytic star reference: a central server ingests one update per
-        // worker with no in-network help.
-        let star_msgs = n as u64 - 1;
-        let star_kib = (n - 1) as f64 * (update_kb as f64);
-        rows.push(vec![
-            n.to_string(),
-            "star (analytic)".into(),
-            star_msgs.to_string(),
-            f2(star_kib),
-            "-".into(),
-        ]);
-        println!("  n={n} star (analytic): master would receive {star_msgs} msgs / {star_kib:.0} KiB");
-    }
-    markdown_table(
-        "Master-side load per aggregation round",
-        &["nodes", "shape", "msgs at master", "KiB at master", "round makespan (ms)"],
-        &rows,
-    );
-    csv_block(
-        "ablation_aggregation",
-        &["nodes", "shape", "msgs", "kib", "makespan_ms"],
-        &rows,
-    );
-}
-
-/// One broadcast+aggregate wave; returns (messages received by the root
-/// during the wave, payload bytes received, makespan ms).
-fn run(n: usize, fanout: usize, seed: u64, update_bytes: usize) -> (u64, u64, f64) {
-    let topology = eua_topology(n, seed);
-    let n = topology.len();
-    // DHT base stays 16; only the tree fanout cap varies.
-    let fconfig = totoro_pubsub::ForestConfig {
-        fanout_cap: fanout, // 0 = uncapped JOIN-path tree.
-        agg_timeout: totoro_simnet::SimDuration::from_secs(120),
-        ..totoro_pubsub::ForestConfig::default()
-    };
-    let mut sim = totoro_bench::setups::echo_overlay_with(topology, seed, 16, fconfig);
-
-    let t = topic("ablation", n as u64 ^ fanout as u64);
-    build_tree(&mut sim, t, &(0..n).collect::<Vec<_>>(), SimTime::from_micros(60 * 1_000_000));
-    let root = root_of(&sim, t).expect("root exists");
-
-    // Measure only the wave: step in 50 ms slices until the aggregation
-    // completes at the root, so maintenance chatter stays negligible.
-    sim.traffic_mut().reset();
-    let start = sim.now();
-    broadcast_from_root(&mut sim, t, 1, update_bytes);
-    let deadline = SimTime::from_micros(start.as_micros() + 600 * 1_000_000);
-    let agg_at = loop {
-        let done = sim
-            .app(root)
-            .upper
-            .state
-            .agg_log
-            .iter()
-            .find(|e| e.topic == t && e.round == 1)
-            .map(|e| e.at);
-        if let Some(at) = done {
-            break at;
-        }
-        assert!(sim.now() < deadline, "aggregation never completed");
-        let next = SimTime::from_micros(sim.now().as_micros() + 50_000);
-        sim.run_until(next);
-    };
-    let traffic = sim.traffic().node(root);
-    (
-        traffic.msgs_recv,
-        traffic.payload_recv,
-        agg_at.saturating_since(start).as_secs_f64() * 1_000.0,
-    )
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    totoro_bench::scenarios::run_named("ablation", &args);
 }

@@ -1,91 +1,7 @@
-//! Figure 10: regret comparison of Totoro's bandit-based hop-by-hop path
-//! planning against end-to-end LCB routing \[42\] and next-hop empirical
-//! routing \[25\].
-//!
-//! The environment is an unreliable edge network with a deceptive
-//! high-quality first link (the situation §7.5 calls out: "paths with a
-//! low-delay first link but with a high overall delay"), modeled by
-//! `trap_graph`, plus a random layered graph for breadth.
-//!
-//! Usage: `fig10_regret [--packets 2000] [--runs 10] [--seed 1]`
-
-use totoro_bandit::{layered, mean_regret_curve, trap_graph, LinkGraph, Policy, Vertex};
-use totoro_bench::report::{arg_u64, arg_usize, csv_block, f2, markdown_table};
-
-const POLICIES: [Policy; 4] = [
-    Policy::HopByHopKlUcb,
-    Policy::EndToEndLcb,
-    Policy::NextHopEmpirical,
-    Policy::Oracle,
-];
+//! Shim binary: runs the `fig10` scenario (Fig. 10: regret comparison of
+//! path-planning algorithms). Same flags as `totoro-bench fig10`.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let packets = arg_usize(&args, "packets", 2_000);
-    let runs = arg_usize(&args, "runs", 10);
-    let seed = arg_u64(&args, "seed", 1);
-
-    println!("# Figure 10: cumulative regret vs packets (runs={runs})");
-
-    let (g, s, d) = trap_graph();
-    report_graph("trap (deceptive first link)", &g, s, d, packets, runs, seed);
-
-    let mut rng = rand::SeedableRng::seed_from_u64(seed);
-    let (g, s, d) = layered(3, 3, (0.15, 0.95), &mut rng);
-    report_graph("layered 3x3 random", &g, s, d, packets, runs, seed + 1);
-}
-
-fn report_graph(
-    label: &str,
-    g: &LinkGraph,
-    s: Vertex,
-    d: Vertex,
-    packets: usize,
-    runs: usize,
-    seed: u64,
-) {
-    println!("\n== graph: {label} ({} vertices, {} links) ==", g.num_vertices(), g.num_edges());
-    let (_, d_star) = g.best_path(s, d).expect("connected");
-    println!("optimal expected delay: {d_star:.2} slots/packet");
-
-    let mut curves = Vec::new();
-    for &p in &POLICIES {
-        let curve = mean_regret_curve(g, s, d, p, packets, runs, seed);
-        println!(
-            "  {:<20} regret @K/4 {:>9.1}  @K/2 {:>9.1}  @K {:>9.1}",
-            p.name(),
-            curve[packets / 4 - 1],
-            curve[packets / 2 - 1],
-            curve[packets - 1]
-        );
-        curves.push((p, curve));
-    }
-
-    let checkpoints: Vec<usize> = (1..=20).map(|i| i * packets / 20).collect();
-    let rows: Vec<Vec<String>> = checkpoints
-        .iter()
-        .map(|&k| {
-            let mut row = vec![k.to_string()];
-            for (_, curve) in &curves {
-                row.push(f2(curve[k - 1]));
-            }
-            row
-        })
-        .collect();
-    let headers: Vec<&str> = std::iter::once("packets")
-        .chain(POLICIES.iter().map(|p| p.name()))
-        .collect();
-    markdown_table(
-        &format!("Fig 10 [{label}]: mean cumulative regret"),
-        &headers,
-        &rows,
-    );
-    csv_block(&format!("fig10_{}", label.split(' ').next().unwrap()), &headers, &rows);
-
-    let final_hb = curves[0].1[packets - 1];
-    let final_e2e = curves[1].1[packets - 1];
-    let final_nh = curves[2].1[packets - 1];
-    println!(
-        "paper check: Totoro achieves lower regret -> totoro {final_hb:.0} vs end-to-end {final_e2e:.0} vs next-hop {final_nh:.0}"
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    totoro_bench::scenarios::run_named("fig10", &args);
 }

@@ -1,89 +1,7 @@
-//! Figure 11: path-selection frequencies generated by different
-//! algorithms. For each packet-index bucket, which path (ranked best →
-//! worst by expected delay) did each algorithm ride?
-//!
-//! The paper's reading: the optimal baseline always picks rank 0; next-hop
-//! routing sometimes finds it but keeps visiting mediocre paths;
-//! end-to-end routing is the last to lock on; Totoro finds the optimal
-//! path the fastest while still exploring early.
-//!
-//! Usage: `fig11_path_freq [--packets 1000] [--runs 20] [--seed 1]`
-
-use totoro_bandit::{ranked_paths, run_trial, trap_graph, Policy};
-use totoro_bench::report::{arg_u64, arg_usize, csv_block, markdown_table};
-
-const POLICIES: [Policy; 4] = [
-    Policy::Oracle,
-    Policy::NextHopEmpirical,
-    Policy::EndToEndLcb,
-    Policy::HopByHopKlUcb,
-];
+//! Shim binary: runs the `fig11` scenario (Fig. 11: path-selection
+//! frequencies over time). Same flags as `totoro-bench fig11`.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let packets = arg_usize(&args, "packets", 1_000);
-    let runs = arg_usize(&args, "runs", 20);
-    let seed = arg_u64(&args, "seed", 1);
-
-    let (g, s, d) = trap_graph();
-    let ranked = ranked_paths(&g, s, d);
-    println!(
-        "# Figure 11: path selection frequencies ({} paths, {} packets, {} runs)",
-        ranked.len(),
-        packets,
-        runs
-    );
-    for (r, (p, delay)) in ranked.iter().enumerate() {
-        println!("  path rank {r}: edges {p:?}, expected delay {delay:.2}");
-    }
-
-    let buckets = 10;
-    for &policy in &POLICIES {
-        // freq[bucket][rank] = how often this rank was ridden.
-        let mut freq = vec![vec![0u32; ranked.len() + 1]; buckets];
-        for run in 0..runs {
-            let mut rng = rand::SeedableRng::seed_from_u64(
-                seed ^ (run as u64).wrapping_mul(0x9E37_79B9),
-            );
-            let trial = run_trial(&g, s, d, policy, packets, &mut rng);
-            for (k, &rank) in trial.per_packet_path_rank.iter().enumerate() {
-                let b = k * buckets / packets;
-                let r = rank.min(ranked.len());
-                freq[b][r] += 1;
-            }
-        }
-        let rows: Vec<Vec<String>> = freq
-            .iter()
-            .enumerate()
-            .map(|(b, counts)| {
-                let mut row = vec![format!(
-                    "{}-{}",
-                    b * packets / buckets,
-                    (b + 1) * packets / buckets
-                )];
-                let total: u32 = counts.iter().sum();
-                for &c in counts.iter().take(ranked.len()) {
-                    row.push(format!("{:.0}%", 100.0 * f64::from(c) / f64::from(total.max(1))));
-                }
-                row
-            })
-            .collect();
-        let rank_headers: Vec<String> = (0..ranked.len()).map(|r| format!("rank{r}")).collect();
-        let headers: Vec<&str> = std::iter::once("packets")
-            .chain(rank_headers.iter().map(String::as_str))
-            .collect();
-        markdown_table(
-            &format!("Fig 11 [{}]: share of packets per path rank", policy.name()),
-            &headers,
-            &rows,
-        );
-        csv_block(&format!("fig11_{}", policy.name()), &headers, &rows);
-
-        let late_optimal = {
-            let last = &freq[buckets - 1];
-            let total: u32 = last.iter().sum();
-            100.0 * f64::from(last[0]) / f64::from(total.max(1))
-        };
-        println!("{}: optimal-path share in final bucket: {late_optimal:.0}%", policy.name());
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    totoro_bench::scenarios::run_named("fig11", &args);
 }

@@ -1,141 +1,7 @@
-//! Figure 12: failure-recovery time for an exponentially increasing number
-//! of dataflow trees, with 5% of each tree's nodes failing simultaneously.
-//!
-//! The paper's claim: recovery time stays *stable* as the number of trees
-//! grows exponentially, because every failure is detected by the failed
-//! node's tree children via keep-alives and repaired locally (re-JOIN),
-//! fully in parallel and without any central coordinator (§4.5).
-//!
-//! Usage: `fig12_recovery [--nodes 400] [--seed 1] [--fail-frac 0.05]`
-
-use totoro_bench::report::{arg_u64, arg_usize, csv_block, f2, markdown_table, percentile};
-use totoro_bench::setups::{build_tree, echo_overlay, eua_topology, topic};
-use totoro_simnet::{sub_rng, ChurnSchedule, SimTime};
+//! Shim binary: runs the `fig12` scenario (Fig. 12: failure-recovery time
+//! vs number of trees). Same flags as `totoro-bench fig12`.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n = arg_usize(&args, "nodes", 400);
-    let seed = arg_u64(&args, "seed", 1);
-    let fail_frac: f64 = totoro_bench::report::arg_string(&args, "fail-frac", "0.05")
-        .parse()
-        .expect("fail-frac is a float");
-
-    println!("# Figure 12: failure recovery vs #trees ({}% simultaneous failures)", fail_frac * 100.0);
-
-    let mut rows = Vec::new();
-    for &trees in &[1usize, 2, 4, 8, 16, 32] {
-        // Accumulate over several seeds for stable percentiles.
-        let mut detect = Vec::new();
-        let mut repair = Vec::new();
-        let mut total = Vec::new();
-        let mut failed = 0;
-        for rep in 0..3 {
-            let (mut episodes, kill_count) = run(n, trees, fail_frac, seed + rep * 101);
-            for (d, r) in episodes.drain(..) {
-                detect.push(d);
-                repair.push(r);
-                total.push(d + r);
-            }
-            failed += kill_count;
-        }
-        let repaired = repair.len();
-        let med_detect = percentile(&detect, 50.0);
-        let med_repair = percentile(&repair, 50.0);
-        let p95_total = percentile(&total, 95.0);
-        rows.push(vec![
-            trees.to_string(),
-            f2(med_detect),
-            f2(med_repair),
-            f2(p95_total),
-            repaired.to_string(),
-            failed.to_string(),
-        ]);
-        println!(
-            "  trees={trees}: median detect {med_detect:.0} ms, median repair {med_repair:.0} ms, p95 total {p95_total:.0} ms ({repaired} repairs, {failed} killed)"
-        );
-    }
-    markdown_table(
-        "Fig 12: tree repair time vs number of trees",
-        &[
-            "trees",
-            "median detection (ms)",
-            "median repair (ms)",
-            "p95 total (ms)",
-            "repairs",
-            "nodes killed",
-        ],
-        &rows,
-    );
-    csv_block(
-        "fig12",
-        &["trees", "detect_ms", "repair_ms", "p95_total_ms", "repairs", "killed"],
-        &rows,
-    );
-
-    // Stability check: repair time at 32 trees close to 1 tree.
-    let first: f64 = rows[0][2].parse::<f64>().unwrap().max(1.0);
-    let last: f64 = rows.last().unwrap()[2].parse::<f64>().unwrap().max(1.0);
-    println!(
-        "\npaper check: repair stays stable under x32 trees -> median repair changes by x{:.2}",
-        last / first
-    );
-}
-
-/// Builds `trees` trees over `n` nodes, kills `fail_frac` of the overlay at
-/// one instant, and measures per repair episode the (detection latency ms,
-/// re-attachment latency ms). Returns (episodes, #killed).
-fn run(n: usize, trees: usize, fail_frac: f64, seed: u64) -> (Vec<(f64, f64)>, usize) {
-    let topology = eua_topology(n, seed);
-    let n = topology.len();
-    let mut sim = echo_overlay(topology, seed, 16);
-    let members: Vec<usize> = (0..n).collect();
-    let mut rng = sub_rng(seed ^ trees as u64, "fig12");
-    let mut tree_members: Vec<Vec<usize>> = Vec::new();
-    for t in 0..trees {
-        let tp = topic("fig12", t as u64);
-        let subset: Vec<usize> =
-            rand::seq::SliceRandom::choose_multiple(&members[..], &mut rng, (n * 3) / 4)
-                .copied()
-                .collect();
-        build_tree(&mut sim, tp, &subset, SimTime::ZERO);
-        tree_members.push(subset);
-    }
-    sim.run_until(SimTime::from_micros(60 * 1_000_000));
-
-    // Paper workload: "each tree has 5% of nodes that fail ... at the same
-    // time". Nodes serve many trees at once, so killing 5% of the overlay
-    // takes down ~5% of every tree's membership simultaneously; the number
-    // of concurrent repairs then grows with the number of trees while the
-    // per-repair work stays local.
-    let _ = &tree_members;
-    let kill_at = SimTime::from_micros(60 * 1_000_000);
-    let schedule = ChurnSchedule::mass_failure(&members, fail_frac, kill_at, &mut rng);
-    let killed = schedule.nodes_affected();
-    schedule.apply(&mut sim);
-    sim.run_until(SimTime::from_micros(240 * 1_000_000));
-
-    // Collect completed repair episodes started at/after the kill,
-    // decomposed into detection (kill -> detected) and repair
-    // (detected -> reattached).
-    let mut episodes = Vec::new();
-    let mut incomplete = 0usize;
-    for i in 0..n {
-        for ev in &sim.app(i).upper.state.repair_events {
-            if ev.detected >= kill_at {
-                match ev.reattached {
-                    Some(done) => episodes.push((
-                        ev.detected.saturating_since(kill_at).as_secs_f64() * 1_000.0,
-                        done.saturating_since(ev.detected).as_secs_f64() * 1_000.0,
-                    )),
-                    None => incomplete += 1,
-                }
-            }
-        }
-    }
-    assert!(
-        incomplete <= (episodes.len() / 5).max(2),
-        "too many unrepaired orphans: {incomplete} vs {} repaired",
-        episodes.len()
-    );
-    (episodes, killed)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    totoro_bench::scenarios::run_named("fig12", &args);
 }

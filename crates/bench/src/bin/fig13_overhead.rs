@@ -1,143 +1,7 @@
-//! Figure 13: CPU and memory overhead of Totoro vs an OpenFL-like
-//! centralized engine, training a feed-forward text-classification model
-//! with a single 10-node dataflow tree (§7.6).
-//!
-//! * **13a (CPU)** — simulated CPU time split into FL-related tasks
-//!   (training, aggregation, serialization, evaluation) and DHT-related
-//!   tasks (overlay maintenance, routing, tree upkeep). The paper's
-//!   finding: Totoro uses less FL CPU than OpenFL and its DHT housekeeping
-//!   is negligible.
-//! * **13b (memory)** — bytes of engine state (routing tables, leaf sets,
-//!   trees, models, shards) per node over time; Totoro stays flat after
-//!   overlay construction.
-//!
-//! Usage: `fig13_overhead [--nodes 10] [--samples 40] [--rounds 8] [--seed 1]`
-
-use totoro::TotoroDeployment;
-use totoro_baselines::{CentralizedEngine, ServerProfile};
-use totoro_bench::report::{arg_u64, arg_usize, csv_block, f2, markdown_table};
-use totoro_bench::setups::{fl_app_config, to_central_spec};
-use totoro_dht::DhtConfig;
-use totoro_ml::{text_classification_like, TaskGenerator};
-use totoro_pubsub::ForestConfig;
-use totoro_simnet::{sub_rng, Application, SimTime, Topology};
+//! Shim binary: runs the `fig13` scenario (Fig. 13a–b: CPU and memory
+//! overhead vs OpenFL). Same flags as `totoro-bench fig13`.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n = arg_usize(&args, "nodes", 10);
-    let samples = arg_usize(&args, "samples", 40);
-    let rounds = arg_u64(&args, "rounds", 8);
-    let seed = arg_u64(&args, "seed", 1);
-
-    println!("# Figure 13: overhead of Totoro vs OpenFL (text model, {n}-node tree)");
-
-    // --- Totoro run -------------------------------------------------------
-    let mut gen_rng = sub_rng(seed, "task");
-    let generator = TaskGenerator::new(text_classification_like(), &mut gen_rng);
-    let topology = Topology::uniform(n, 1_000, 5_000);
-    let mut deploy = TotoroDeployment::new(
-        topology,
-        seed,
-        DhtConfig::with_fanout(8),
-        ForestConfig {
-            fanout_cap: 8,
-            ..ForestConfig::default()
-        },
-    );
-    {
-        let mut rng = sub_rng(seed, "shards");
-        let shards = generator.client_shards(n, samples, 0.5, &mut rng);
-        let mut cfg = fl_app_config("text-app", 0, &generator, 32, 1_000);
-        cfg.target_accuracy = 2.0; // Run exactly `rounds` rounds.
-        cfg.max_rounds = rounds;
-        let participants: Vec<usize> = (0..n).collect();
-        deploy.submit_app(cfg, &participants, shards);
-    }
-    let mut totoro_mem_series = Vec::new();
-    let step = SimTime::from_micros(5 * 1_000_000);
-    let mut t = step;
-    while !deploy.app_done(0) && t < SimTime::from_micros(3_600 * 1_000_000) {
-        deploy.run(t);
-        let mem: usize = (0..n).map(|i| deploy.sim().app(i).memory_bytes()).sum();
-        totoro_mem_series.push((t.as_secs_f64(), mem as f64 / n as f64 / 1024.0));
-        t = SimTime::from_micros(t.as_micros() + step.as_micros());
-    }
-    let tot_fl: u64 = deploy.sim().compute().fl_us.iter().sum();
-    let tot_dht: u64 = deploy.sim().compute().dht_us.iter().sum();
-
-    // --- OpenFL-like run --------------------------------------------------
-    let mut gen_rng = sub_rng(seed, "task");
-    let generator = TaskGenerator::new(text_classification_like(), &mut gen_rng);
-    let topology = Topology::uniform(n + 1, 1_000, 5_000);
-    let mut engine = CentralizedEngine::new(topology, ServerProfile::openfl_like(), seed);
-    let participants: Vec<usize> = (1..=n).collect();
-    let mut rng = sub_rng(seed, "shards");
-    let shards = generator.client_shards(n, samples, 0.5, &mut rng);
-    let mut cfg = fl_app_config("text-app", 0, &generator, 32, 1_000);
-    cfg.target_accuracy = 2.0; // Run exactly `rounds` rounds.
-    cfg.max_rounds = rounds;
-    engine.submit_app(to_central_spec(&cfg), &participants, shards);
-    let mut openfl_mem_series = Vec::new();
-    let mut t = step;
-    while !engine.server().is_done(0) && t < SimTime::from_micros(3_600 * 1_000_000) {
-        engine.run(t);
-        let mem: usize = (0..=n).map(|i| engine.sim().app(i).memory_bytes()).sum();
-        openfl_mem_series.push((t.as_secs_f64(), mem as f64 / (n + 1) as f64 / 1024.0));
-        t = SimTime::from_micros(t.as_micros() + step.as_micros());
-    }
-    let ofl_fl: u64 = engine.sim().compute().fl_us.iter().sum();
-    let ofl_dht: u64 = engine.sim().compute().dht_us.iter().sum();
-
-    // --- 13a: CPU ----------------------------------------------------------
-    let rows = vec![
-        vec![
-            "totoro".into(),
-            f2(tot_fl as f64 / 1e6),
-            f2(tot_dht as f64 / 1e6),
-            f2((tot_fl + tot_dht) as f64 / 1e6),
-        ],
-        vec![
-            "openfl".into(),
-            f2(ofl_fl as f64 / 1e6),
-            f2(ofl_dht as f64 / 1e6),
-            f2((ofl_fl + ofl_dht) as f64 / 1e6),
-        ],
-    ];
-    markdown_table(
-        &format!("Fig 13a: total simulated CPU seconds over {rounds} rounds"),
-        &["engine", "FL tasks (s)", "DHT tasks (s)", "total (s)"],
-        &rows,
-    );
-    csv_block("fig13a", &["engine", "fl_s", "dht_s", "total_s"], &rows);
-    println!(
-        "\npaper check: Totoro adds only negligible DHT CPU -> DHT share {:.1}% of Totoro total",
-        100.0 * tot_dht as f64 / (tot_fl + tot_dht).max(1) as f64
-    );
-    println!(
-        "paper check: Totoro uses less FL CPU than OpenFL -> totoro {:.1}s vs openfl {:.1}s",
-        tot_fl as f64 / 1e6,
-        ofl_fl as f64 / 1e6
-    );
-
-    // --- 13b: memory --------------------------------------------------------
-    let rows: Vec<Vec<String>> = totoro_mem_series
-        .iter()
-        .zip(openfl_mem_series.iter().chain(std::iter::repeat(
-            openfl_mem_series.last().unwrap_or(&(0.0, 0.0)),
-        )))
-        .map(|(&(t, tm), &(_, om))| vec![format!("{t:.0}"), f2(tm), f2(om)])
-        .collect();
-    markdown_table(
-        "Fig 13b: mean engine state per node (KiB) over time",
-        &["time (s)", "totoro KiB/node", "openfl KiB/node"],
-        &rows,
-    );
-    csv_block("fig13b", &["time_s", "totoro_kib", "openfl_kib"], &rows);
-
-    if let (Some(first), Some(last)) = (totoro_mem_series.first(), totoro_mem_series.last()) {
-        println!(
-            "\npaper check: after DHT construction no further memory growth -> totoro {:.1} KiB -> {:.1} KiB",
-            first.1, last.1
-        );
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    totoro_bench::scenarios::run_named("fig13", &args);
 }

@@ -1,244 +1,7 @@
-//! Figure 5: Totoro's scalability and load balance.
-//!
-//! * **5a** — edge zones formed from an EUA-shaped topology by distributed
-//!   binning (reports zone sizes/diameters instead of a map).
-//! * **5b** — masters-per-node distribution when 500 dataflow trees run on
-//!   a 1000-node zone (the paper reports "99.5% of the nodes are the roots
-//!   of 3 trees or less").
-//! * **5c** — masters per zone under workloads proportional to zone size.
-//! * **5d** — branch (per-level) distribution of 17 trees with fanout 8,
-//!   showing balanced roots/forwarders/leaves.
-//!
-//! Usage: `fig5_scalability [--nodes 1000] [--trees 500] [--seed 1]`
-
-use totoro::{masters_per_node, quantile, role_census};
-use totoro_bench::report::{csv_block, f2, markdown_table, stats};
-use totoro_bench::setups::{build_tree, echo_overlay, eua_topology, root_of, topic};
-use totoro_simnet::{assign_zones, sub_rng, BinningConfig, SimTime};
+//! Shim binary: runs the `fig5` scenario (Fig. 5a–d: zones, master
+//! distribution, branch balance). Same flags as `totoro-bench fig5`.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n = totoro_bench::report::arg_usize(&args, "nodes", 1_000);
-    let trees = totoro_bench::report::arg_usize(&args, "trees", 500) as u64;
-    let seed = totoro_bench::report::arg_u64(&args, "seed", 1);
-
-    println!("# Figure 5: scalability & load balance (n={n}, trees={trees}, seed={seed})");
-
-    fig5a_zones(seed);
-    let topics = fig5b_masters(n, trees, seed);
-    fig5c_masters_per_zone(seed);
-    fig5d_branches(seed);
-    let _ = topics;
-}
-
-/// 5a: distributed binning of the EUA topology into edge zones.
-fn fig5a_zones(seed: u64) {
-    let topology = eua_topology(4_000, seed);
-    let mut rng = sub_rng(seed, "binning");
-    let config = BinningConfig {
-        num_landmarks: 5,
-        level_boundaries_us: vec![4_000, 12_000, 30_000],
-        max_zones: 12,
-    };
-    let zones = assign_zones(&topology, &config, &mut rng);
-    let diam = totoro_simnet::binning::zone_diameters_us(&topology, &zones, 128, &mut rng);
-    let sizes = zones.zone_sizes();
-    let rows: Vec<Vec<String>> = (0..zones.num_zones)
-        .map(|z| {
-            vec![
-                z.to_string(),
-                sizes[z].to_string(),
-                f2(diam[z] as f64 / 1_000.0),
-            ]
-        })
-        .collect();
-    markdown_table(
-        "Fig 5a: edge zones from distributed binning (EUA-shaped topology)",
-        &["zone", "nodes", "diameter (ms RTT)"],
-        &rows,
-    );
-    csv_block(
-        "fig5a",
-        &["zone", "nodes", "diameter_ms"],
-        &rows,
-    );
-}
-
-/// 5b: masters-per-node distribution for many trees on one zone.
-fn fig5b_masters(n: usize, trees: u64, seed: u64) -> Vec<totoro_dht::Id> {
-    let topology = eua_topology(n, seed + 1);
-    let n = topology.len(); // Region rounding can add a few nodes.
-    let mut sim = echo_overlay(topology, seed + 1, 16);
-    let members: Vec<usize> = (0..n).collect();
-    // Each tree gets a random subset of subscribers (64 each) — creating a
-    // tree only requires joins, so this scales to 500 trees comfortably.
-    let mut rng = sub_rng(seed, "tree-members");
-    let mut topics = Vec::new();
-    for k in 0..trees {
-        let t = topic("fig5b", k);
-        let subset: Vec<usize> = rand::seq::SliceRandom::choose_multiple(
-            &members[..],
-            &mut rng,
-            64,
-        )
-        .copied()
-        .collect();
-        build_tree(&mut sim, t, &subset, SimTime::ZERO);
-        topics.push(t);
-    }
-    sim.run_until(SimTime::from_micros(120 * 1_000_000));
-
-    let masters = masters_per_node(&sim, &topics);
-    let total: usize = masters.iter().sum();
-    let at_most = |k: usize| masters.iter().filter(|&&m| m <= k).count() as f64 / n as f64;
-    let rows = vec![
-        vec!["trees rooted".into(), total.to_string()],
-        vec!["max masters on one node".into(), masters.iter().max().unwrap().to_string()],
-        vec!["p50 masters".into(), quantile(&masters, 0.5).to_string()],
-        vec!["p99 masters".into(), quantile(&masters, 0.99).to_string()],
-        vec!["frac nodes with <=3 masters".into(), f2(at_most(3) * 100.0) + "%"],
-    ];
-    markdown_table(
-        &format!("Fig 5b: master distribution ({trees} trees on {n} nodes)"),
-        &["metric", "value"],
-        &rows,
-    );
-    // Histogram for the normal-probability plot.
-    let max = *masters.iter().max().unwrap();
-    let hist: Vec<Vec<String>> = (0..=max)
-        .map(|k| {
-            vec![
-                k.to_string(),
-                masters.iter().filter(|&&m| m == k).count().to_string(),
-            ]
-        })
-        .collect();
-    csv_block("fig5b_hist", &["masters_per_node", "num_nodes"], &hist);
-    assert_eq!(total, trees as usize, "every tree must have exactly one root");
-    println!(
-        "\npaper check: 99.5% of nodes are roots of 3 trees or less -> measured {:.1}%",
-        at_most(3) * 100.0
-    );
-    topics
-}
-
-/// 5c: masters per zone with workload proportional to zone density.
-fn fig5c_masters_per_zone(seed: u64) {
-    let topology = eua_topology(1_200, seed + 2);
-    let mut rng = sub_rng(seed + 2, "binning");
-    let zones = assign_zones(
-        &topology,
-        &BinningConfig {
-            num_landmarks: 4,
-            level_boundaries_us: vec![4_000, 12_000, 30_000],
-            max_zones: 6,
-        },
-        &mut rng,
-    );
-    let mut sim = echo_overlay(topology, seed + 2, 16);
-
-    // Dense zones submit proportionally more applications.
-    let sizes = zones.zone_sizes();
-    let mut topics_by_zone: Vec<Vec<totoro_dht::Id>> = vec![Vec::new(); zones.num_zones];
-    let mut all_topics = Vec::new();
-    let mut rng = sub_rng(seed + 2, "apps");
-    for (z, &size) in sizes.iter().enumerate() {
-        let apps = (size / 40).max(1);
-        let members = zones.members(z as u16);
-        for k in 0..apps {
-            let t = topic(&format!("fig5c-z{z}"), k as u64);
-            let subset: Vec<usize> = rand::seq::SliceRandom::choose_multiple(
-                &members[..],
-                &mut rng,
-                members.len().min(32),
-            )
-            .copied()
-            .collect();
-            build_tree(&mut sim, t, &subset, SimTime::ZERO);
-            topics_by_zone[z].push(t);
-            all_topics.push(t);
-        }
-    }
-    sim.run_until(SimTime::from_micros(120 * 1_000_000));
-
-    let rows: Vec<Vec<String>> = (0..zones.num_zones)
-        .map(|z| {
-            // Count masters that landed on nodes of each zone.
-            let masters_here: usize = all_topics
-                .iter()
-                .filter_map(|&t| root_of(&sim, t))
-                .filter(|&root| zones.zone_of[root] == z as u16)
-                .count();
-            vec![
-                z.to_string(),
-                sizes[z].to_string(),
-                topics_by_zone[z].len().to_string(),
-                masters_here.to_string(),
-            ]
-        })
-        .collect();
-    markdown_table(
-        "Fig 5c: masters scale with zone workload",
-        &["zone", "nodes", "apps submitted", "masters hosted"],
-        &rows,
-    );
-    csv_block("fig5c", &["zone", "nodes", "apps", "masters"], &rows);
-}
-
-/// 5d: branch distribution of 17 fanout-8 trees.
-fn fig5d_branches(seed: u64) {
-    let topology = eua_topology(1_946, seed + 3); // The paper's node count.
-    let n = topology.len();
-    let mut sim = echo_overlay(topology, seed + 3, 8);
-    let mut rng = sub_rng(seed + 3, "members");
-    let members: Vec<usize> = (0..n).collect();
-    let mut topics = Vec::new();
-    for k in 0..17 {
-        let t = topic("fig5d", k);
-        // Random membership sizes spread tree depths across levels 1-6.
-        let size = [60, 120, 250, 500, 900][k as usize % 5];
-        let subset: Vec<usize> =
-            rand::seq::SliceRandom::choose_multiple(&members[..], &mut rng, size)
-                .copied()
-                .collect();
-        build_tree(&mut sim, t, &subset, SimTime::ZERO);
-        topics.push(t);
-    }
-    sim.run_until(SimTime::from_micros(180 * 1_000_000));
-
-    let mut rows = Vec::new();
-    let mut all_levels: Vec<Vec<usize>> = Vec::new();
-    for (k, &t) in topics.iter().enumerate() {
-        let levels = totoro::level_census(&sim, t);
-        rows.push(vec![
-            k.to_string(),
-            levels.len().saturating_sub(1).to_string(),
-            levels
-                .iter()
-                .map(|c| c.to_string())
-                .collect::<Vec<_>>()
-                .join("/"),
-        ]);
-        all_levels.push(levels);
-    }
-    markdown_table(
-        "Fig 5d: per-level node counts of 17 fanout-8 trees",
-        &["tree", "depth", "nodes per level (root..leaves)"],
-        &rows,
-    );
-    csv_block(
-        "fig5d",
-        &["tree", "depth", "levels"],
-        &rows,
-    );
-
-    // Load-balance check over interior load: how concentrated are
-    // forwarder duties?
-    let roles = role_census(&sim, &topics);
-    let agg_loads: Vec<f64> = roles.iter().map(|r| r.aggregator as f64).collect();
-    let s = stats(&agg_loads);
-    println!(
-        "\nforwarder load: mean {:.2}, sd {:.2}, max {:.0} across {n} nodes",
-        s.mean, s.sd, s.max
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    totoro_bench::scenarios::run_named("fig5", &args);
 }

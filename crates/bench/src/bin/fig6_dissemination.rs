@@ -1,160 +1,8 @@
-//! Figure 6: model dissemination and gradient aggregation times for an
-//! exponentially increasing number of edge nodes, plus the fanout sweep
-//! (Fig. 6c) and the §7.3 O(log N) hop-count claim.
-//!
-//! The paper's claim: as tree size grows *exponentially* (20 → 5120), the
-//! dissemination and aggregation times grow only *linearly*, because both
-//! are bounded by tree depth = O(log N).
-//!
-//! Usage: `fig6_dissemination [--max-nodes 5120] [--seed 1] [--model-kb 96]`
-
-use totoro_bench::report::{arg_u64, arg_usize, csv_block, f2, f3, markdown_table};
-use totoro_bench::setups::{
-    broadcast_from_root, build_tree, echo_overlay, eua_topology, root_of, topic,
-};
-use totoro_dht::{implicit_route_hops, random_ids, Id};
-use totoro_simnet::{sub_rng, SimTime};
+//! Shim binary: runs the `fig6` scenario (Fig. 6a–c: dissemination and
+//! aggregation time vs N and fanout; O(log N) hops). Same flags as
+//! `totoro-bench fig6`.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let max_nodes = arg_usize(&args, "max-nodes", 5_120);
-    let seed = arg_u64(&args, "seed", 1);
-    let model_kb = arg_usize(&args, "model-kb", 96);
-
-    println!("# Figure 6: dissemination & aggregation scaling (seed={seed})");
-
-    // 6a + 6b: N sweep 20 -> max at fanout 16.
-    let mut sizes = Vec::new();
-    let mut n = 20;
-    while n <= max_nodes {
-        sizes.push(n);
-        n *= 2;
-    }
-    let mut rows = Vec::new();
-    for &n in &sizes {
-        let (diss_ms, agg_ms, depth) = measure(n, 16, seed, model_kb * 1024);
-        rows.push(vec![
-            n.to_string(),
-            f2(diss_ms),
-            f2(agg_ms),
-            depth.to_string(),
-        ]);
-        println!("  n={n}: dissemination {diss_ms:.1} ms, aggregation {agg_ms:.1} ms, depth {depth}");
-    }
-    markdown_table(
-        "Fig 6a/6b: time vs #nodes (fanout 16)",
-        &["nodes", "dissemination (ms)", "aggregation (ms)", "tree depth"],
-        &rows,
-    );
-    csv_block("fig6ab", &["nodes", "diss_ms", "agg_ms", "depth"], &rows);
-
-    // Linearity check: time at max N vs time at min N should scale like
-    // depth (log), not like N.
-    let first: f64 = rows.first().unwrap()[1].parse().unwrap();
-    let last: f64 = rows.last().unwrap()[1].parse().unwrap();
-    println!(
-        "\npaper check: x{} nodes -> only x{:.1} dissemination time (log-bounded)",
-        sizes.last().unwrap() / sizes[0],
-        last / first.max(1e-9),
-    );
-
-    // 6c: fanout sweep at a fixed size.
-    let n_fixed = (max_nodes / 2).max(640);
-    let mut rows = Vec::new();
-    for &fanout in &[8usize, 16, 32] {
-        let (diss_ms, agg_ms, depth) = measure(n_fixed, fanout, seed + 7, model_kb * 1024);
-        rows.push(vec![
-            fanout.to_string(),
-            f2(diss_ms),
-            f2(agg_ms),
-            depth.to_string(),
-        ]);
-    }
-    markdown_table(
-        &format!("Fig 6c: dissemination time vs tree fanout ({n_fixed} nodes)"),
-        &["fanout", "dissemination (ms)", "aggregation (ms)", "depth"],
-        &rows,
-    );
-    csv_block("fig6c", &["fanout", "diss_ms", "agg_ms", "depth"], &rows);
-
-    // §7.3: O(log N) routing hops up to millions of nodes (implicit overlay).
-    hops_sweep(seed);
-}
-
-/// Builds one n-node tree, broadcasts one model, waits for the aggregation
-/// wave, and returns (dissemination makespan ms, aggregation makespan ms,
-/// max depth).
-fn measure(n: usize, fanout: usize, seed: u64, model_bytes: usize) -> (f64, f64, u16) {
-    let topology = eua_topology(n, seed);
-    let n = topology.len();
-    let mut sim = echo_overlay(topology, seed, fanout);
-    let t = topic("fig6", seed ^ n as u64 ^ fanout as u64);
-    let members: Vec<usize> = (0..n).collect();
-    build_tree(&mut sim, t, &members, SimTime::from_micros(60 * 1_000_000));
-
-    // Reset logs; broadcast once.
-    let start = sim.now();
-    broadcast_from_root(&mut sim, t, 1, model_bytes);
-    sim.run_until(SimTime::from_micros(start.as_micros() + 600 * 1_000_000));
-
-    // Dissemination makespan: last broadcast receipt among subscribers.
-    let mut last_receipt = start;
-    let mut max_depth = 0;
-    for i in 0..n {
-        let forest = &sim.app(i).upper;
-        for ev in &forest.state.broadcast_log {
-            if ev.topic == t && ev.round == 1 {
-                last_receipt = last_receipt.max(ev.at);
-                max_depth = max_depth.max(ev.depth);
-            }
-        }
-    }
-    // Aggregation completion at the root.
-    let root = root_of(&sim, t).expect("root exists");
-    let agg_at = sim
-        .app(root)
-        .upper
-        .state
-        .agg_log
-        .iter()
-        .find(|e| e.topic == t && e.round == 1)
-        .map(|e| e.at)
-        .expect("aggregation completed");
-
-    let diss_ms = last_receipt.saturating_since(start).as_secs_f64() * 1_000.0;
-    let agg_ms = agg_at.saturating_since(last_receipt).as_secs_f64() * 1_000.0;
-    (diss_ms, agg_ms, max_depth)
-}
-
-/// Mean routing hops over an implicit perfect overlay, N up to millions.
-fn hops_sweep(seed: u64) {
-    let mut rng = sub_rng(seed, "hops");
-    let mut rows = Vec::new();
-    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
-        let ids = random_ids(n, &mut rng);
-        let trials = 200;
-        let mut total = 0u64;
-        let mut max = 0u32;
-        for t in 0..trials {
-            let key = Id::new(rand::Rng::gen::<u128>(&mut rng));
-            let hops = implicit_route_hops(&ids, (t * 131) % n, key, 4);
-            total += u64::from(hops);
-            max = max.max(hops);
-        }
-        let mean = total as f64 / f64::from(trials as u32);
-        let bound = (n as f64).log(16.0).ceil();
-        rows.push(vec![
-            n.to_string(),
-            f3(mean),
-            max.to_string(),
-            f2(bound),
-        ]);
-        println!("  n={n}: mean hops {mean:.2}, max {max}, ceil(log16 N)={bound}");
-    }
-    markdown_table(
-        "§7.3: routing hops vs N (b=4, implicit perfect overlay)",
-        &["nodes", "mean hops", "max hops", "ceil(log_16 N)"],
-        &rows,
-    );
-    csv_block("fig6_hops", &["nodes", "mean_hops", "max_hops", "log16"], &rows);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    totoro_bench::scenarios::run_named("fig6", &args);
 }

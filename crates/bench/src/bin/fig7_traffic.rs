@@ -1,117 +1,7 @@
-//! Figure 7: per-node network traffic (TCP/UDP) as the number of dataflow
-//! trees grows.
-//!
-//! The paper's observation: increasing the number of trees 10× increases
-//! per-node traffic by only ~1.19× (TCP) / ~1.29× (UDP), because new trees
-//! merely add JOIN paths over the existing overlay whose maintenance cost
-//! dominates and is shared.
-//!
-//! Method: run an overlay for a fixed maintenance-only window with `k`
-//! live trees (tree keep-alives on top of the shared DHT upkeep) and
-//! report mean wire bytes per node under the TCP and UDP overhead models.
-//!
-//! Usage: `fig7_traffic [--nodes 300] [--seed 1] [--window-secs 120]`
-
-use totoro_bench::report::{arg_u64, arg_usize, csv_block, f2, markdown_table};
-use totoro_bench::setups::{build_tree, echo_overlay_with, eua_topology, topic};
-use totoro_pubsub::ForestConfig;
-use totoro_simnet::{sub_rng, SimDuration, SimTime};
+//! Shim binary: runs the `fig7` scenario (Fig. 7: per-node TCP/UDP traffic
+//! vs number of trees). Same flags as `totoro-bench fig7`.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n = arg_usize(&args, "nodes", 300);
-    let seed = arg_u64(&args, "seed", 1);
-    let window = arg_u64(&args, "window-secs", 120);
-
-    println!("# Figure 7: traffic per node vs number of trees (n={n}, window={window}s)");
-
-    let tree_counts = [1usize, 2, 5, 10, 20];
-    let mut rows = Vec::new();
-    let mut base: Option<(f64, f64)> = None;
-    for &k in &tree_counts {
-        let (tcp, udp, msgs) = run_with_trees(n, k, seed, window);
-        let (tcp0, udp0) = *base.get_or_insert((tcp, udp));
-        rows.push(vec![
-            k.to_string(),
-            f2(tcp / 1024.0),
-            f2(udp / 1024.0),
-            f2(tcp / tcp0),
-            f2(udp / udp0),
-            msgs.to_string(),
-        ]);
-        println!(
-            "  trees={k}: tcp {:.1} KiB/node (x{:.2}), udp {:.1} KiB/node (x{:.2})",
-            tcp / 1024.0,
-            tcp / tcp0,
-            udp / 1024.0,
-            udp / udp0
-        );
-    }
-    markdown_table(
-        "Fig 7: mean wire bytes per node over the window",
-        &[
-            "trees",
-            "TCP KiB/node",
-            "UDP KiB/node",
-            "TCP ratio vs 1 tree",
-            "UDP ratio vs 1 tree",
-            "total msgs",
-        ],
-        &rows,
-    );
-    csv_block(
-        "fig7",
-        &["trees", "tcp_kib", "udp_kib", "tcp_ratio", "udp_ratio", "msgs"],
-        &rows,
-    );
-    let last = rows.last().unwrap();
-    println!(
-        "\npaper check: 10x trees -> ~1.19x TCP / ~1.29x UDP; measured at {}x trees: {}x TCP, {}x UDP",
-        tree_counts.last().unwrap(),
-        last[3],
-        last[4]
-    );
-}
-
-/// Runs `k` trees over an `n`-node overlay for `window` seconds after
-/// setup; returns (mean TCP bytes/node, mean UDP bytes/node, total msgs).
-fn run_with_trees(n: usize, k: usize, seed: u64, window: u64) -> (f64, f64, u64) {
-    let topology = eua_topology(n, seed);
-    let n = topology.len();
-    // Production-like maintenance cadence: tree keep-alives every 4 s (the
-    // DHT's own heartbeats every 2 s dominate, as in FreePastry).
-    let fconfig = ForestConfig {
-        fanout_cap: 16,
-        tick: SimDuration::from_secs(4),
-        agg_timeout: SimDuration::from_secs(120),
-        ..ForestConfig::default()
-    };
-    let mut sim = echo_overlay_with(topology, seed, 16, fconfig);
-    let members: Vec<usize> = (0..n).collect();
-    let mut rng = sub_rng(seed + k as u64, "membership");
-    let mut topics = Vec::new();
-    for t in 0..k {
-        let tp = topic("fig7", t as u64);
-        let subset: Vec<usize> =
-            rand::seq::SliceRandom::choose_multiple(&members[..], &mut rng, n / 2)
-                .copied()
-                .collect();
-        build_tree(&mut sim, tp, &subset, SimTime::ZERO);
-        topics.push(tp);
-    }
-    // Settle, then measure a clean maintenance-only window (the paper's
-    // point: creating new trees adds little traffic on top of the shared
-    // overlay upkeep).
-    sim.run_until(SimTime::from_micros(60 * 1_000_000));
-    sim.traffic_mut().reset();
-    let start = sim.now();
-    let end = SimTime::from_micros(start.as_micros() + window * 1_000_000);
-    sim.run_until(end);
-    let _ = &topics;
-
-    (
-        sim.traffic().mean_tcp_sent(),
-        sim.traffic().mean_udp_sent(),
-        sim.traffic().total_msgs(),
-    )
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    totoro_bench::scenarios::run_named("fig7", &args);
 }

@@ -1,134 +1,28 @@
-//! Figures 8 and 9: time-to-accuracy curves of Totoro, OpenFL-like, and
-//! FedScale-like engines when 1/5/10/20 applications train concurrently.
+//! Shim binary: runs the `fig8` or `fig9` scenario (Figs. 8–9:
+//! time-to-accuracy curves for 1/5/10/20 concurrent apps).
 //!
-//! Figure 8 uses the mid-scale "speech" task (paper: Google Speech), Figure
-//! 9 the large-scale "femnist" task (paper: FEMNIST). The paper's
-//! observations to reproduce: (1) Totoro's curves barely move as the app
-//! count grows (§7.4 reports 15.41 h -> 15.47 h from 1 to 20 models);
-//! (2) the centralized engines' curves stretch out with the app count.
-//!
-//! Usage: `fig8_fig9_tta [--dataset speech] [--nodes 48] [--samples 30]
-//!         [--apps 1,5,10,20] [--fanout 32] [--seed 1]`
-
-use totoro_baselines::{CentralizedEngine, ServerProfile};
-use totoro_bench::report::{arg_string, arg_u64, arg_usize, csv_block, f3};
-use totoro_bench::setups::{
-    edge_latency, fl_app_config, target_for, task_by_name, to_central_spec, totoro_with_apps,
-};
-use totoro_ml::{AccuracyPoint, TaskGenerator};
-use totoro_simnet::geo::{eua_regions_scaled, generate};
-use totoro_simnet::{sub_rng, SimTime, Topology};
-
-const MAX_SIM: SimTime = SimTime::from_micros(48 * 3_600 * 1_000_000);
+//! Historically this one binary served both figures, selected with
+//! `--dataset speech|femnist`; the flag is still honored here and mapped to
+//! the `fig8` (speech) or `fig9` (femnist) scenario registration.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let dataset = arg_string(&args, "dataset", "speech");
-    let n = arg_usize(&args, "nodes", 48);
-    let samples = arg_usize(&args, "samples", 30);
-    let fanout = arg_usize(&args, "fanout", 32);
-    let seed = arg_u64(&args, "seed", 1);
-    let apps_list: Vec<usize> = arg_string(&args, "apps", "1,5,10,20")
-        .split(',')
-        .filter_map(|x| x.trim().parse().ok())
-        .collect();
-
-    let samples = if dataset == "femnist" { samples * 3 } else { samples };
-    let figure = if dataset == "speech" { 8 } else { 9 };
-    let task = task_by_name(&dataset);
-    println!(
-        "# Figure {figure}: time-to-accuracy, dataset {dataset} (target {:.1}%)",
-        target_for(&task) * 100.0
-    );
-
-    for &num_apps in &apps_list {
-        println!("\n== {num_apps} concurrent applications ==");
-
-        // Totoro.
-        let mut gen_rng = sub_rng(seed, "task");
-        let generator = TaskGenerator::new(task_by_name(&dataset), &mut gen_rng);
-        let mut topology = topology_for(n, seed);
-        apply_device_class(&mut topology, &dataset);
-        let mut deploy =
-            totoro_with_apps(topology, seed, fanout, num_apps, &generator, samples, 60);
-        deploy.run(MAX_SIM);
-        let total = (0..num_apps)
-            .filter_map(|a| deploy.curve(a).last().map(|p| p.time_secs))
-            .fold(0.0, f64::max);
-        println!("totoro: all apps finished by {total:.0}s");
-        emit_curve(
-            &format!("fig{figure}_totoro_{num_apps}apps"),
-            &deploy.curve(0),
-        );
-
-        // Baselines.
-        for (label, profile) in [
-            ("openfl", ServerProfile::openfl_like()),
-            ("fedscale", ServerProfile::fedscale_like()),
-        ] {
-            let mut gen_rng = sub_rng(seed, "task");
-            let generator = TaskGenerator::new(task_by_name(&dataset), &mut gen_rng);
-            let mut topology = topology_for(n + 1, seed);
-            apply_device_class(&mut topology, &dataset);
-            let mut engine = CentralizedEngine::new(topology, profile, seed);
-            let participants: Vec<usize> = (1..=n).collect();
-            let mut rng = sub_rng(seed, "shards");
-            for a in 0..num_apps {
-                let shards = generator.client_shards(n, samples, 0.5, &mut rng);
-                let cfg = fl_app_config(
-                    &format!("{}-app-{a}", generator.spec.name),
-                    a as u64,
-                    &generator,
-                    48,
-                    1_000 + a as u64,
-                );
-                engine.submit_app(to_central_spec(&cfg), &participants, shards);
-            }
-            engine.run(MAX_SIM);
-            let total = (0..num_apps)
-                .filter_map(|a| engine.server().curve(a).last().map(|p| p.time_secs))
-                .fold(0.0, f64::max);
-            println!("{label}: all apps finished by {total:.0}s");
-            emit_curve(
-                &format!("fig{figure}_{label}_{num_apps}apps"),
-                engine.server().curve(0),
-            );
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dataset = "speech".to_string();
+    if let Some(i) = args.iter().position(|a| a == "--dataset") {
+        if i + 1 >= args.len() {
+            eprintln!("--dataset requires a value (speech|femnist)");
+            std::process::exit(2);
         }
+        dataset = args.remove(i + 1);
+        args.remove(i);
     }
-}
-
-/// Prints a (time, round, accuracy) curve as CSV.
-fn emit_curve(name: &str, curve: &[AccuracyPoint]) {
-    let rows: Vec<Vec<String>> = curve
-        .iter()
-        .map(|p| {
-            vec![
-                format!("{:.1}", p.time_secs),
-                p.round.to_string(),
-                f3(p.accuracy),
-            ]
-        })
-        .collect();
-    csv_block(name, &["time_s", "round", "accuracy"], &rows);
-}
-
-
-/// Device profile per dataset: the large-scale task's rounds are dominated
-/// by on-device training (as in the paper, where FEMNIST trains far longer
-/// per round than Speech), modeled by weaker edge devices.
-fn apply_device_class(topology: &mut Topology, dataset: &str) {
-    if dataset == "femnist" {
-        for i in 0..topology.len() {
-            let mut p = topology.profile(i);
-            p.compute_speed *= 0.02;
-            topology.set_profile(i, p);
+    let name = match dataset.as_str() {
+        "speech" => "fig8",
+        "femnist" => "fig9",
+        other => {
+            eprintln!("unknown dataset {other:?} (expected speech|femnist)");
+            std::process::exit(2);
         }
-    }
-}
-
-fn topology_for(n: usize, seed: u64) -> Topology {
-    let mut rng = sub_rng(seed, "eua-topology");
-    let nodes = generate(&eua_regions_scaled(n), &mut rng);
-    let nodes = &nodes[..n.min(nodes.len())];
-    Topology::from_placements(nodes, edge_latency())
+    };
+    totoro_bench::scenarios::run_named(name, &args);
 }

@@ -1,202 +1,7 @@
-//! Table 3: time-to-accuracy speedup of Totoro over OpenFL-like and
-//! FedScale-like centralized engines, for {speech, femnist} × {5, 10, 20}
-//! concurrent applications × tree fanouts {8, 16, 32}.
-//!
-//! All engines train the *same* synthetic tasks with the same MLPs, shards,
-//! hyperparameters, and compute-time model; only the system architecture
-//! differs. "Total training time" is the simulated time until every
-//! submitted application reaches the dataset's target accuracy (speech
-//! 53.0%, femnist 75.5%) or its round cap.
-//!
-//! Usage: `table3_speedup [--nodes 48] [--samples 30] [--apps 5,10,20]
-//!         [--fanouts 8,16,32] [--datasets speech,femnist] [--seed 1]`
-
-use totoro_baselines::{CentralizedEngine, ServerProfile};
-use totoro_bench::report::{arg_string, arg_u64, arg_usize, csv_block, markdown_table, speedup};
-use totoro_bench::setups::{
-    edge_latency, fl_app_config, target_for, task_by_name, to_central_spec, totoro_with_apps,
-};
-use totoro_ml::TaskGenerator;
-use totoro_simnet::geo::{eua_regions_scaled, generate};
-use totoro_simnet::{sub_rng, SimTime, Topology};
-
-const MAX_SIM: SimTime = SimTime::from_micros(48 * 3_600 * 1_000_000);
+//! Shim binary: runs the `table3` scenario (Table 3: time-to-accuracy
+//! speedups vs OpenFL/FedScale). Same flags as `totoro-bench table3`.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n = arg_usize(&args, "nodes", 48);
-    let samples = arg_usize(&args, "samples", 30);
-    let seed = arg_u64(&args, "seed", 1);
-    let apps_list = parse_list(&arg_string(&args, "apps", "5,10,20"));
-    let fanouts = parse_list(&arg_string(&args, "fanouts", "8,16,32"));
-    let datasets = arg_string(&args, "datasets", "speech,femnist");
-
-    println!("# Table 3: time-to-accuracy speedups (n={n}, {samples} samples/client)");
-
-    for dataset in datasets.split(',') {
-        run_dataset(dataset.trim(), n, samples, &apps_list, &fanouts, seed);
-    }
-}
-
-fn parse_list(s: &str) -> Vec<usize> {
-    s.split(',').filter_map(|x| x.trim().parse().ok()).collect()
-}
-
-fn run_dataset(
-    dataset: &str,
-    n: usize,
-    samples: usize,
-    apps_list: &[usize],
-    fanouts: &[usize],
-    seed: u64,
-) {
-    // The large-scale task trains on bigger shards (longer rounds, as in
-    // the paper, where FEMNIST speedups are smaller than Speech ones
-    // because per-round compute amortizes the server overhead).
-    let samples = if dataset == "femnist" { samples * 3 } else { samples };
-    let task = task_by_name(dataset);
-    let target = target_for(&task);
-    println!("\n== dataset {dataset} (target accuracy {:.1}%) ==", target * 100.0);
-
-    let mut rows = Vec::new();
-    for &num_apps in apps_list {
-        // Baselines first (shared across fanouts).
-        let openfl = central_total(dataset, n, samples, num_apps, ServerProfile::openfl_like(), seed);
-        let fedscale =
-            central_total(dataset, n, samples, num_apps, ServerProfile::fedscale_like(), seed);
-        println!(
-            "  apps={num_apps}: openfl {openfl:.0}s, fedscale {fedscale:.0}s"
-        );
-        for &fanout in fanouts {
-            let totoro = totoro_total(dataset, n, samples, num_apps, fanout, seed);
-            println!(
-                "  apps={num_apps} fanout={fanout}: totoro {totoro:.0}s -> {} vs OpenFL, {} vs FedScale",
-                speedup(openfl / totoro),
-                speedup(fedscale / totoro)
-            );
-            rows.push(vec![
-                dataset.to_string(),
-                num_apps.to_string(),
-                fanout.to_string(),
-                format!("{totoro:.0}"),
-                format!("{openfl:.0}"),
-                format!("{fedscale:.0}"),
-                speedup(openfl / totoro),
-                speedup(fedscale / totoro),
-            ]);
-        }
-    }
-    markdown_table(
-        &format!("Table 3 [{dataset}]: total training time and speedups"),
-        &[
-            "dataset",
-            "apps",
-            "fanout",
-            "totoro (s)",
-            "openfl (s)",
-            "fedscale (s)",
-            "speedup vs OpenFL",
-            "speedup vs FedScale",
-        ],
-        &rows,
-    );
-    csv_block(
-        &format!("table3_{dataset}"),
-        &[
-            "dataset", "apps", "fanout", "totoro_s", "openfl_s", "fedscale_s", "sp_openfl",
-            "sp_fedscale",
-        ],
-        &rows,
-    );
-}
-
-/// Total simulated seconds for Totoro to finish `num_apps` apps.
-fn totoro_total(
-    dataset: &str,
-    n: usize,
-    samples: usize,
-    num_apps: usize,
-    fanout: usize,
-    seed: u64,
-) -> f64 {
-    let task = task_by_name(dataset);
-    let mut gen_rng = sub_rng(seed, "task");
-    let generator = TaskGenerator::new(task, &mut gen_rng);
-    let mut topology = topology_for(n, seed);
-    apply_device_class(&mut topology, dataset);
-    let mut deploy = totoro_with_apps(topology, seed, fanout, num_apps, &generator, samples, 60);
-    deploy.run(MAX_SIM);
-    // Finish time = when the last app's target was reached (or its cap).
-    (0..num_apps)
-        .map(|a| {
-            deploy
-                .time_to_target(a)
-                .or_else(|| deploy.curve(a).last().map(|p| p.time_secs))
-                .unwrap_or(MAX_SIM.as_secs_f64())
-        })
-        .fold(0.0, f64::max)
-}
-
-/// Total simulated seconds for a centralized engine to finish the same
-/// workload (node 0 is the server; clients start at node 1).
-fn central_total(
-    dataset: &str,
-    n: usize,
-    samples: usize,
-    num_apps: usize,
-    profile: ServerProfile,
-    seed: u64,
-) -> f64 {
-    let task = task_by_name(dataset);
-    let mut gen_rng = sub_rng(seed, "task");
-    let generator = TaskGenerator::new(task, &mut gen_rng);
-    let mut topology = topology_for(n + 1, seed);
-    apply_device_class(&mut topology, dataset);
-    let mut engine = CentralizedEngine::new(topology, profile, seed);
-    let participants: Vec<usize> = (1..=n).collect();
-    let mut rng = sub_rng(seed, "shards");
-    for a in 0..num_apps {
-        // Identical shard/rng stream layout as the Totoro run.
-        let shards = generator.client_shards(n, samples, 0.5, &mut rng);
-        let cfg = fl_app_config(
-            &format!("{}-app-{a}", generator.spec.name),
-            a as u64,
-            &generator,
-            48,
-            1_000 + a as u64,
-        );
-        engine.submit_app(to_central_spec(&cfg), &participants, shards);
-    }
-    engine.run(MAX_SIM);
-    let server = engine.server();
-    (0..num_apps)
-        .map(|a| {
-            server
-                .time_to_target(a)
-                .or_else(|| server.curve(a).last().map(|p| p.time_secs))
-                .unwrap_or(MAX_SIM.as_secs_f64())
-        })
-        .fold(0.0, f64::max)
-}
-
-
-/// Device profile per dataset: the large-scale task's rounds are dominated
-/// by on-device training (as in the paper, where FEMNIST trains far longer
-/// per round than Speech), modeled by weaker edge devices.
-fn apply_device_class(topology: &mut Topology, dataset: &str) {
-    if dataset == "femnist" {
-        for i in 0..topology.len() {
-            let mut p = topology.profile(i);
-            p.compute_speed *= 0.02;
-            topology.set_profile(i, p);
-        }
-    }
-}
-
-fn topology_for(n: usize, seed: u64) -> Topology {
-    let mut rng = sub_rng(seed, "eua-topology");
-    let nodes = generate(&eua_regions_scaled(n), &mut rng);
-    // Trim/pad handled by the generator's rounding; take exactly n.
-    let nodes = &nodes[..n.min(nodes.len())];
-    Topology::from_placements(nodes, edge_latency())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    totoro_bench::scenarios::run_named("table3", &args);
 }

@@ -1,19 +1,27 @@
 //! # totoro-bench
 //!
 //! The experiment harness that regenerates every table and figure of the
-//! paper's evaluation (§7). One binary per artifact:
+//! paper's evaluation (§7), built around the [`scenario::Scenario`] API:
+//! each artifact expands into independent [`scenario::Trial`]s that the
+//! parallel trial engine runs on `--jobs` worker threads with bit-identical
+//! output regardless of worker count.
 //!
-//! | Binary | Paper artifact |
-//! |--------|----------------|
-//! | `fig5_scalability` | Fig. 5a–d: zones, master distribution, branch balance |
-//! | `fig6_dissemination` | Fig. 6a–c: dissemination/aggregation time vs N, fanout; O(log N) hops |
-//! | `fig7_traffic` | Fig. 7: per-node TCP/UDP traffic vs number of trees |
-//! | `table3_speedup` | Table 3: time-to-accuracy speedups vs OpenFL/FedScale |
-//! | `fig8_fig9_tta` | Figs. 8–9: time-to-accuracy curves |
-//! | `fig10_regret` | Fig. 10: regret comparison of path-planning algorithms |
-//! | `fig11_path_freq` | Fig. 11: path-selection frequencies |
-//! | `fig12_recovery` | Fig. 12: failure-recovery time vs number of trees |
-//! | `fig13_overhead` | Fig. 13a–b: CPU and memory overhead vs OpenFL |
+//! The `totoro-bench` binary dispatches scenarios by name (`totoro-bench
+//! fig7 --nodes 300 --jobs 8`; `--list` enumerates them). The historical
+//! per-figure binaries remain as thin shims over the same registrations:
+//!
+//! | Scenario | Shim binary | Paper artifact |
+//! |----------|-------------|----------------|
+//! | `fig5` | `fig5_scalability` | Fig. 5a–d: zones, master distribution, branch balance |
+//! | `fig6` | `fig6_dissemination` | Fig. 6a–c: dissemination/aggregation time vs N, fanout; O(log N) hops |
+//! | `fig7` | `fig7_traffic` | Fig. 7: per-node TCP/UDP traffic vs number of trees |
+//! | `table3` | `table3_speedup` | Table 3: time-to-accuracy speedups vs OpenFL/FedScale |
+//! | `fig8`, `fig9` | `fig8_fig9_tta` | Figs. 8–9: time-to-accuracy curves |
+//! | `fig10` | `fig10_regret` | Fig. 10: regret comparison of path-planning algorithms |
+//! | `fig11` | `fig11_path_freq` | Fig. 11: path-selection frequencies |
+//! | `fig12` | `fig12_recovery` | Fig. 12: failure-recovery time vs number of trees |
+//! | `fig13` | `fig13_overhead` | Fig. 13a–b: CPU and memory overhead vs OpenFL |
+//! | `ablation` | `ablation_aggregation` | In-network aggregation vs star ablation |
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 
@@ -21,4 +29,6 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod scenario;
+pub mod scenarios;
 pub mod setups;

@@ -1,27 +1,37 @@
-//! Plain-text reporting helpers shared by the experiment binaries.
+//! Plain-text rendering helpers shared by the scenarios.
 //!
-//! Every figure/table binary prints (a) a human-readable markdown table
+//! Every figure/table scenario renders (a) a human-readable markdown table
 //! mirroring the paper's artifact and (b) machine-readable CSV blocks
 //! (`# csv:<name>` sentinel lines) that downstream plotting can consume.
+//! All helpers build and return `String`s — scenarios never print directly,
+//! which is what makes rendered output comparable byte-for-byte across
+//! `--jobs` settings.
 
-/// Prints a markdown table.
-pub fn markdown_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n## {title}\n");
-    println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+/// Renders a markdown table.
+pub fn markdown_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n## {title}\n\n"));
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}|\n",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    ));
     for row in rows {
-        println!("| {} |", row.join(" | "));
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
     }
+    out
 }
 
-/// Prints a CSV block with a sentinel header for scripted extraction.
-pub fn csv_block(name: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n# csv:{name}");
-    println!("{}", headers.join(","));
+/// Renders a CSV block with a sentinel header for scripted extraction.
+pub fn csv_block(name: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n# csv:{name}\n"));
+    out.push_str(&format!("{}\n", headers.join(",")));
     for row in rows {
-        println!("{}", row.join(","));
+        out.push_str(&format!("{}\n", row.join(",")));
     }
-    println!("# end-csv:{name}");
+    out.push_str(&format!("# end-csv:{name}\n"));
+    out
 }
 
 /// Formats a float with 2 decimals.
@@ -82,33 +92,6 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     v[rank]
 }
 
-/// Parses `--key value` style CLI overrides with a default.
-pub fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
-    arg_value(args, key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Parses a `--key value` flag as u64.
-pub fn arg_u64(args: &[String], key: &str, default: u64) -> u64 {
-    arg_value(args, key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Parses a `--key value` flag as String.
-pub fn arg_string(args: &[String], key: &str, default: &str) -> String {
-    arg_value(args, key).unwrap_or_else(|| default.to_string())
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    let flag = format!("--{key}");
-    args.iter()
-        .position(|a| *a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,14 +115,14 @@ mod tests {
     }
 
     #[test]
-    fn arg_parsing() {
-        let args: Vec<String> = ["--nodes", "100", "--dataset", "speech"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(arg_usize(&args, "nodes", 5), 100);
-        assert_eq!(arg_usize(&args, "missing", 7), 7);
-        assert_eq!(arg_string(&args, "dataset", "femnist"), "speech");
-        assert_eq!(arg_u64(&args, "nodes", 0), 100);
+    fn tables_render_to_strings() {
+        let rows = vec![vec!["1".to_string(), "2".to_string()]];
+        let md = markdown_table("T", &["a", "b"], &rows);
+        assert!(md.contains("## T"));
+        assert!(md.contains("| 1 | 2 |"));
+        let csv = csv_block("t", &["a", "b"], &rows);
+        assert!(csv.starts_with("\n# csv:t\n"));
+        assert!(csv.ends_with("# end-csv:t\n"));
+        assert!(csv.contains("1,2"));
     }
 }

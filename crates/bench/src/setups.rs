@@ -215,13 +215,9 @@ pub fn echo_overlay_with(
     fanout: usize,
     fconfig: ForestConfig,
 ) -> EchoSim {
-    let (sim, _ids) = spawn_overlay(
-        topology,
-        seed,
-        DhtConfig::with_fanout(fanout),
-        None,
-        |_i| Forest::new(EchoApp::default(), fconfig),
-    );
+    let (sim, _ids) = spawn_overlay(topology, seed, DhtConfig::with_fanout(fanout), None, |_i| {
+        Forest::new(EchoApp::default(), fconfig)
+    });
     sim
 }
 

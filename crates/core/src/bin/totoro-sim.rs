@@ -32,11 +32,11 @@
 
 use std::sync::Arc;
 
+use totoro::dht::DhtConfig;
 use totoro::ml::{
     femnist_like, speech_commands_like, text_classification_like, AggregationRule, Compression,
     Privacy, TaskGenerator,
 };
-use totoro::dht::DhtConfig;
 use totoro::pubsub::ForestConfig;
 use totoro::simnet::geo::{eua_regions_scaled, generate};
 use totoro::simnet::{sub_rng, ChurnSchedule, LatencyModel, SimTime, Topology};
@@ -59,9 +59,9 @@ fn arg_or<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
 fn parse_selection(s: &str) -> SelectionPolicy {
     let mut parts = s.split(':');
     match parts.next() {
-        Some("fraction") => SelectionPolicy::Fraction(
-            parts.next().and_then(|v| v.parse().ok()).unwrap_or(0.5),
-        ),
+        Some("fraction") => {
+            SelectionPolicy::Fraction(parts.next().and_then(|v| v.parse().ok()).unwrap_or(0.5))
+        }
         Some("loss") => SelectionPolicy::LossAdaptive {
             floor: parts.next().and_then(|v| v.parse().ok()).unwrap_or(0.2),
         },
@@ -196,7 +196,10 @@ fn main() {
             SimTime::from_micros(20 * 1_000_000),
             &mut crng,
         );
-        println!("churn: killing {} nodes at t=20s", schedule.nodes_affected());
+        println!(
+            "churn: killing {} nodes at t=20s",
+            schedule.nodes_affected()
+        );
         schedule.apply(deploy.sim_mut());
     }
 

@@ -312,7 +312,10 @@ impl ForestApp for FlEngine {
         };
         let config = &self.registry[app];
         if let RoundPolicy::SemiSynchronous { quorum } = config.round_policy {
-            let is_master = self.masters.get(&app).is_some_and(|m| !m.done && m.round == round);
+            let is_master = self
+                .masters
+                .get(&app)
+                .is_some_and(|m| !m.done && m.round == round);
             if is_master {
                 let expected = config.expected_participants.max(1) as f64;
                 if count as f64 >= quorum * expected {

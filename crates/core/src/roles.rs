@@ -9,10 +9,7 @@ use totoro_pubsub::{Forest, ForestApp, ForestNode};
 use totoro_simnet::Simulator;
 
 /// How many of `topics`' trees are rooted at each node (Figure 5b).
-pub fn masters_per_node<F: ForestApp>(
-    sim: &Simulator<ForestNode<F>>,
-    topics: &[Id],
-) -> Vec<usize> {
+pub fn masters_per_node<F: ForestApp>(sim: &Simulator<ForestNode<F>>, topics: &[Id]) -> Vec<usize> {
     let mut counts = vec![0usize; sim.len()];
     for (i, count) in counts.iter_mut().enumerate() {
         let forest: &Forest<F> = &sim.app(i).upper;
@@ -56,10 +53,7 @@ pub struct RoleCount {
 }
 
 /// Role counts for every node over `topics`.
-pub fn role_census<F: ForestApp>(
-    sim: &Simulator<ForestNode<F>>,
-    topics: &[Id],
-) -> Vec<RoleCount> {
+pub fn role_census<F: ForestApp>(sim: &Simulator<ForestNode<F>>, topics: &[Id]) -> Vec<RoleCount> {
     (0..sim.len())
         .map(|i| {
             let forest: &Forest<F> = &sim.app(i).upper;

@@ -97,10 +97,8 @@ mod tests {
     fn compression_shrinks_leaf_wire_size_only() {
         let w = vec![0.5; 1000];
         let dense = FlData::update(ModelUpdate::from_client(&w, 3), Compression::None);
-        let mut sparse = FlData::update(
-            ModelUpdate::from_client(&w, 3),
-            Compression::TopK { k: 50 },
-        );
+        let mut sparse =
+            FlData::update(ModelUpdate::from_client(&w, 3), Compression::TopK { k: 50 });
         assert!(sparse.size_bytes() < dense.size_bytes() / 2);
         // After combining, the partial is dense again.
         sparse.combine(&dense);

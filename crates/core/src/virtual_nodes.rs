@@ -53,7 +53,11 @@ pub fn expand_by_cores(
 }
 
 /// Sums a per-logical-node metric back onto physical nodes.
-pub fn fold_to_physical(mapping: &VirtualMapping, per_logical: &[u64], physical_len: usize) -> Vec<u64> {
+pub fn fold_to_physical(
+    mapping: &VirtualMapping,
+    per_logical: &[u64],
+    physical_len: usize,
+) -> Vec<u64> {
     let mut out = vec![0u64; physical_len];
     for (l, &v) in per_logical.iter().enumerate() {
         out[mapping.physical_of[l]] += v;

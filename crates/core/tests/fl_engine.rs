@@ -96,7 +96,10 @@ fn many_apps_train_concurrently_with_distinct_masters() {
         .map(|i| masters.iter().filter(|&&m| m == i).count())
         .max()
         .unwrap();
-    assert!(max_on_one <= num_apps / 2, "masters concentrated: {masters:?}");
+    assert!(
+        max_on_one <= num_apps / 2,
+        "masters concentrated: {masters:?}"
+    );
 }
 
 #[test]
@@ -338,8 +341,7 @@ fn semi_synchronous_quorum_cuts_rounds_early() {
     };
 
     let (sync_time, sync_rounds) = build_with(RoundPolicy::Synchronous, 7);
-    let (semi_time, semi_rounds) =
-        build_with(RoundPolicy::SemiSynchronous { quorum: 0.6 }, 7);
+    let (semi_time, semi_rounds) = build_with(RoundPolicy::SemiSynchronous { quorum: 0.6 }, 7);
     assert_eq!(sync_rounds, 5);
     assert_eq!(semi_rounds, 5);
     assert!(
@@ -427,7 +429,10 @@ fn continuous_churn_during_training_still_converges() {
     let curve = deploy.curve(app);
     let best = curve.iter().map(|p| p.accuracy).fold(0.0, f64::max);
     let rounds = curve.last().map_or(0, |p| p.round);
-    assert!(rounds >= 35, "training stalled under churn: {rounds} rounds");
+    assert!(
+        rounds >= 35,
+        "training stalled under churn: {rounds} rounds"
+    );
     assert!(best > 0.6, "model failed to learn under churn: {best}");
 }
 

@@ -100,8 +100,7 @@ impl Id {
             // Whole-ring arc.
             return true;
         }
-        from.clockwise_distance(self) <= from.clockwise_distance(to)
-            && self != from
+        from.clockwise_distance(self) <= from.clockwise_distance(to) && self != from
     }
 
     /// The zone id: the top `zone_bits` bits of the identifier.

@@ -317,7 +317,13 @@ pub struct DhtNode<U: UpperLayer> {
 impl<U: UpperLayer> DhtNode<U> {
     /// Creates a node. `bootstrap` is the address of an existing overlay
     /// member (or `None` for the first node, or when state is bulk-built).
-    pub fn new(id: Id, addr: NodeIdx, config: DhtConfig, bootstrap: Option<NodeIdx>, upper: U) -> Self {
+    pub fn new(
+        id: Id,
+        addr: NodeIdx,
+        config: DhtConfig,
+        bootstrap: Option<NodeIdx>,
+        upper: U,
+    ) -> Self {
         DhtNode {
             state: DhtState::new(id, addr, config),
             upper,
@@ -462,7 +468,9 @@ impl<U: UpperLayer> DhtNode<U> {
         self.drain_local(ctx);
 
         // Heartbeat surviving leaf members; occasionally gossip leaf sets.
-        let gossip = self.tick.is_multiple_of(u64::from(self.maintenance.gossip_every_ticks.max(1)));
+        let gossip = self
+            .tick
+            .is_multiple_of(u64::from(self.maintenance.gossip_every_ticks.max(1)));
         let members: Vec<Contact> = self.state.leaf_set.members().collect();
         for c in &members {
             if gossip {
@@ -531,8 +539,7 @@ impl<U: UpperLayer> DhtNode<U> {
                         &mut self.pending_local,
                         ctx,
                     );
-                    self.upper
-                        .on_forward(&mut api, key, prev, &mut payload, c)
+                    self.upper.on_forward(&mut api, key, prev, &mut payload, c)
                 };
                 self.drain_local(ctx);
                 if cont {
@@ -649,8 +656,7 @@ impl<U: UpperLayer> totoro_simnet::Application for DhtNode<U> {
                 // Announce to everyone we learned so they fold us in.
                 let me = self.state.contact();
                 let peers: Vec<NodeIdx> = {
-                    let mut v: Vec<NodeIdx> =
-                        self.state.known_contacts().map(|c| c.addr).collect();
+                    let mut v: Vec<NodeIdx> = self.state.known_contacts().map(|c| c.addr).collect();
                     v.sort_unstable();
                     v.dedup();
                     v

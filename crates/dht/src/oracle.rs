@@ -63,12 +63,7 @@ fn slot_range(my_id: Id, row: u32, col: u32, b: u32) -> Option<(u128, u128)> {
         !(u128::MAX >> start_bit)
     };
     let low = (my_id.raw() & high_mask) | (u128::from(col) << shift);
-    let high = low
-        | (if shift == 0 {
-            0
-        } else {
-            (1u128 << shift) - 1
-        });
+    let high = low | (if shift == 0 { 0 } else { (1u128 << shift) - 1 });
     Some((low, high))
 }
 

@@ -47,7 +47,10 @@ pub struct TwoLevelTable {
 impl TwoLevelTable {
     /// Creates an empty table for `my_id` with `zone_bits` = `m`.
     pub fn new(my_id: Id, zone_bits: u32) -> Self {
-        assert!(zone_bits < ID_BITS, "zone bits must leave room for suffixes");
+        assert!(
+            zone_bits < ID_BITS,
+            "zone bits must leave room for suffixes"
+        );
         let n = ID_BITS - zone_bits;
         TwoLevelTable {
             my_id,
@@ -301,10 +304,14 @@ mod tests {
         let mut t = TwoLevelTable::new(me, M);
         t.consider(contact(3, 1 << 10, 1));
         t.consider(contact(3, 1 << 50, 2));
-        let hop = t.next_hop_toward_suffix(id_in_zone(3, (1 << 50) + 5)).unwrap();
+        let hop = t
+            .next_hop_toward_suffix(id_in_zone(3, (1 << 50) + 5))
+            .unwrap();
         assert_eq!(hop.addr, 2);
         // Key behind all fingers: nearest small finger.
-        let hop2 = t.next_hop_toward_suffix(id_in_zone(3, (1 << 10) + 1)).unwrap();
+        let hop2 = t
+            .next_hop_toward_suffix(id_in_zone(3, (1 << 10) + 1))
+            .unwrap();
         assert_eq!(hop2.addr, 1);
         // Key equal to own suffix: delivered locally.
         assert!(t.next_hop_toward_suffix(me).is_none());

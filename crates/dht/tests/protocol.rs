@@ -1,9 +1,7 @@
 //! Protocol-level DHT tests: nodes join over the network, route keys, and
 //! detect failures — no omniscient construction involved.
 
-use totoro_dht::{
-    closest_on_ring, node_id, DhtApi, DhtConfig, DhtNode, Id, UpperLayer,
-};
+use totoro_dht::{closest_on_ring, node_id, DhtApi, DhtConfig, DhtNode, Id, UpperLayer};
 use totoro_simnet::{sub_rng, NodeIdx, Payload, SimTime, Simulator, Topology};
 
 /// A minimal upper layer that records deliveries and failures.
@@ -45,11 +43,19 @@ type Node = DhtNode<Recorder>;
 /// through it at staggered times (via their `on_start`).
 fn join_sim(n: usize, seed: u64) -> (Simulator<Node>, Vec<Id>) {
     let topology = Topology::uniform(n, 500, 2_000);
-    let ids: Vec<Id> = (0..n).map(|i| node_id(&format!("node-{i}:{seed}"))).collect();
+    let ids: Vec<Id> = (0..n)
+        .map(|i| node_id(&format!("node-{i}:{seed}")))
+        .collect();
     let ids2 = ids.clone();
     let sim = Simulator::new(topology, seed, move |i| {
         let bootstrap = if i == 0 { None } else { Some(0) };
-        DhtNode::new(ids2[i], i, DhtConfig::default(), bootstrap, Recorder::default())
+        DhtNode::new(
+            ids2[i],
+            i,
+            DhtConfig::default(),
+            bootstrap,
+            Recorder::default(),
+        )
     });
     (sim, ids)
 }
@@ -93,7 +99,11 @@ fn routing_reaches_numerically_closest_node() {
         let want_id = sorted[closest_on_ring(&sorted, key)];
         let dest = ids.iter().position(|&x| x == want_id).unwrap();
         assert!(
-            sim.app(dest).upper.delivered.iter().any(|&(k, v)| k == key && v == t),
+            sim.app(dest)
+                .upper
+                .delivered
+                .iter()
+                .any(|&(k, v)| k == key && v == t),
             "packet {t} not delivered at closest node"
         );
     }
@@ -295,13 +305,22 @@ fn staggered_joins_grow_a_healthy_overlay() {
     let ids2 = ids.clone();
     let mut sim = Simulator::new(topology, 99, move |i| {
         let bootstrap = if i == 0 { None } else { Some(0) };
-        DhtNode::new(ids2[i], i, DhtConfig::default(), bootstrap, Recorder::default())
+        DhtNode::new(
+            ids2[i],
+            i,
+            DhtConfig::default(),
+            bootstrap,
+            Recorder::default(),
+        )
     });
     // Hold back the last 10 nodes: take them down before start, revive in
     // waves (their start-time join is lost; re-join happens on revival).
     for i in 20..30 {
         sim.schedule_down(i, SimTime::from_micros(0));
-        sim.schedule_up(i, SimTime::from_micros((10 + (i as u64 - 20) * 5) * 1_000_000));
+        sim.schedule_up(
+            i,
+            SimTime::from_micros((10 + (i as u64 - 20) * 5) * 1_000_000),
+        );
     }
     sim.run_until(SimTime::from_micros(120 * 1_000_000));
 

@@ -266,12 +266,8 @@ mod tests {
     #[test]
     fn small_alpha_skews_harder_than_large_alpha() {
         let mut r = rng(4);
-        let entropy = |p: &[f64]| -> f64 {
-            p.iter()
-                .filter(|&&x| x > 0.0)
-                .map(|&x| -x * x.ln())
-                .sum()
-        };
+        let entropy =
+            |p: &[f64]| -> f64 { p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.ln()).sum() };
         let trials = 50;
         let mean_entropy = |alpha: f64, r: &mut StdRng| -> f64 {
             (0..trials)

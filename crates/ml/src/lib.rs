@@ -27,7 +27,7 @@ pub mod privacy;
 pub mod secure_agg;
 pub mod serialize;
 
-pub use compress::{dequantize_int8, densify, quantize_int8, top_k, Compression};
+pub use compress::{densify, dequantize_int8, quantize_int8, top_k, Compression};
 pub use data::{
     dirichlet, femnist_like, speech_commands_like, text_classification_like, Dataset,
     TaskGenerator, TaskSpec,

@@ -360,7 +360,10 @@ mod tests {
             );
             checked += 1;
         }
-        assert!(checked >= 4, "too many kinked parameters: only {checked} checked");
+        assert!(
+            checked >= 4,
+            "too many kinked parameters: only {checked} checked"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! forwarders/aggregators, leaves as workers. Model broadcast travels down
 //! the tree; gradient aggregation climbs it with in-network combining.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use totoro_dht::{Contact, DhtApi, Id, UpperLayer};
 use totoro_simnet::{ComputeKind, NodeIdx, SimDuration, SimTime};
@@ -113,7 +113,10 @@ pub struct ForestStats {
 /// Mutable forest-wide state of one node.
 #[derive(Debug)]
 pub struct ForestState<D> {
-    trees: HashMap<Id, Membership<D>>,
+    // BTreeMap, not HashMap: per-tick maintenance iterates topics, and the
+    // resulting message order must not depend on the process's hash seed
+    // (bit-identical reruns are part of the bench contract).
+    trees: BTreeMap<Id, Membership<D>>,
     round_timers: HashMap<u64, (Id, u64)>,
     next_round_token: u64,
     pending_flush: Vec<(Id, u64)>,
@@ -130,7 +133,7 @@ pub struct ForestState<D> {
 impl<D> ForestState<D> {
     fn new() -> Self {
         ForestState {
-            trees: HashMap::new(),
+            trees: BTreeMap::new(),
             round_timers: HashMap::new(),
             next_round_token: 1,
             pending_flush: Vec::new(),
@@ -282,7 +285,13 @@ impl<D: TreeData> ForestApi<'_, '_, '_, D> {
     /// round additionally waits for one local contribution from this node
     /// (a master that also acts as a worker, submitting its own update via
     /// [`ForestApi::contribute`]).
-    pub fn broadcast_expecting_local(&mut self, topic: Id, round: u64, data: D, expect_local: bool) {
+    pub fn broadcast_expecting_local(
+        &mut self,
+        topic: Id,
+        round: u64,
+        data: D,
+        expect_local: bool,
+    ) {
         let now = self.now();
         let record = self.config.record_events;
         let agg_timeout = self.config.agg_timeout;
@@ -687,7 +696,15 @@ impl<F: ForestApp> Forest<F> {
                 let mut api = Self::api(&mut self.state, &self.config, dht);
                 self.app.on_aggregated(&mut api, topic, round, data, count);
             } else if let Some(p) = parent {
-                dht.send_direct(p.addr, TreeMsg::AggregateUp { topic, round, count, data });
+                dht.send_direct(
+                    p.addr,
+                    TreeMsg::AggregateUp {
+                        topic,
+                        round,
+                        count,
+                        data,
+                    },
+                );
                 self.state.stats.aggregates_sent += 1;
             }
             return;
@@ -727,7 +744,12 @@ impl<F: ForestApp> Forest<F> {
 
     /// A subtree reported that it has nothing for this round: count it as
     /// a received input without combining anything.
-    fn handle_abstain(&mut self, dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>, topic: Id, round: u64) {
+    fn handle_abstain(
+        &mut self,
+        dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>,
+        topic: Id,
+        round: u64,
+    ) {
         let now = dht.now();
         let agg_timeout = self.config.agg_timeout;
         let m = self.state.tree_mut(topic, now);
@@ -1126,11 +1148,7 @@ impl<F: ForestApp> UpperLayer for Forest<F> {
         let topics: Vec<Id> = self.state.trees.keys().copied().collect();
         for topic in topics {
             let (was_parent, _had_child) = {
-                let m = self
-                    .state
-                    .trees
-                    .get_mut(&topic)
-                    .expect("topic exists");
+                let m = self.state.trees.get_mut(&topic).expect("topic exists");
                 let was_parent = m.parent.map(|p| p.addr) == Some(addr);
                 let had_child = m.remove_child(addr);
                 (was_parent, had_child)

@@ -22,8 +22,7 @@ pub mod membership;
 pub mod msg;
 
 pub use forest::{
-    AggEvent, BroadcastEvent, Forest, ForestApi, ForestApp, ForestConfig, ForestState,
-    ForestStats,
+    AggEvent, BroadcastEvent, Forest, ForestApi, ForestApp, ForestConfig, ForestState, ForestStats,
 };
 pub use membership::{Membership, RepairEvent, RoundAgg};
 pub use msg::{TreeData, TreeMsg};

@@ -275,9 +275,7 @@ fn fanout_cap_pushes_joins_down() {
             "node {i} detached under fanout cap"
         );
     }
-    let pushdowns: u64 = (0..n)
-        .map(|i| sim.app(i).upper.state.stats.pushdowns)
-        .sum();
+    let pushdowns: u64 = (0..n).map(|i| sim.app(i).upper.state.stats.pushdowns).sum();
     assert!(pushdowns > 0, "cap never triggered a push-down");
 }
 
@@ -401,7 +399,10 @@ fn rounds_with_stragglers_flush_by_timeout() {
     assert!(!aggs.is_empty(), "aggregation never completed");
     let &(_, _, _, count) = aggs.first().unwrap();
     assert!(count >= (n as u64) - 5, "too few contributions: {count}");
-    assert!(count < n as u64, "dead leaf contribution impossibly arrived");
+    assert!(
+        count < n as u64,
+        "dead leaf contribution impossibly arrived"
+    );
 }
 
 #[test]
@@ -509,9 +510,7 @@ fn bandit_replan_escapes_sustained_flaky_parent() {
             );
         }
     }
-    let replans: u64 = (0..n)
-        .map(|i| sim.app(i).upper.state.stats.replans)
-        .sum();
+    let replans: u64 = (0..n).map(|i| sim.app(i).upper.state.stats.replans).sum();
     let repairs: usize = (0..n)
         .map(|i| sim.app(i).upper.state.repair_events.len())
         .sum();

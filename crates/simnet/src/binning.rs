@@ -86,6 +86,33 @@ impl ZoneAssignment {
             landmarks: Vec::new(),
         }
     }
+
+    /// Summarizes this assignment as a small plain value suitable for
+    /// embedding in a per-trial report.
+    pub fn summary(&self) -> ZoneSummary {
+        let sizes = self.zone_sizes();
+        let smallest = sizes.iter().copied().min().unwrap_or(0);
+        let largest = sizes.iter().copied().max().unwrap_or(0);
+        ZoneSummary {
+            nodes: self.zone_of.len(),
+            num_zones: self.num_zones,
+            smallest,
+            largest,
+        }
+    }
+}
+
+/// Compact zone-formation statistics for one trial.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneSummary {
+    /// Number of nodes binned.
+    pub nodes: usize,
+    /// Number of zones formed.
+    pub num_zones: usize,
+    /// Smallest zone's member count.
+    pub smallest: usize,
+    /// Largest zone's member count.
+    pub largest: usize,
 }
 
 /// Computes a node's binning signature from its RTTs to the landmarks.
@@ -143,8 +170,7 @@ pub fn assign_zones(
     let max_zones = config.max_zones.max(1);
     let num_seeds = bins.len().min(max_zones);
     let mut zone_of = vec![0u16; n];
-    let seed_sigs: Vec<BinSignature> =
-        bins[..num_seeds].iter().map(|(s, _)| s.clone()).collect();
+    let seed_sigs: Vec<BinSignature> = bins[..num_seeds].iter().map(|(s, _)| s.clone()).collect();
     for (zi, (_, members)) in bins[..num_seeds].iter().enumerate() {
         for &m in members {
             zone_of[m] = zi as u16;
@@ -329,5 +355,18 @@ mod tests {
         let z = ZoneAssignment::single_zone(10);
         assert_eq!(z.num_zones, 1);
         assert_eq!(z.members(0).len(), 10);
+    }
+
+    #[test]
+    fn summary_matches_sizes() {
+        let t = geo_topology(300, 11);
+        let mut rng = sub_rng(11, "assign");
+        let zones = assign_zones(&t, &BinningConfig::default(), &mut rng);
+        let s = zones.summary();
+        assert_eq!(s.nodes, t.len());
+        assert_eq!(s.num_zones, zones.num_zones);
+        let sizes = zones.zone_sizes();
+        assert_eq!(s.largest, *sizes.iter().max().unwrap());
+        assert_eq!(s.smallest, *sizes.iter().min().unwrap());
     }
 }

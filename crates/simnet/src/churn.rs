@@ -137,12 +137,8 @@ mod tests {
     fn mass_failure_kills_expected_fraction() {
         let mut rng = sub_rng(1, "churn");
         let candidates: Vec<NodeIdx> = (0..200).collect();
-        let s = ChurnSchedule::mass_failure(
-            &candidates,
-            0.05,
-            SimTime::from_micros(1_000),
-            &mut rng,
-        );
+        let s =
+            ChurnSchedule::mass_failure(&candidates, 0.05, SimTime::from_micros(1_000), &mut rng);
         assert_eq!(s.events().len(), 10);
         assert_eq!(s.nodes_affected(), 10);
         assert!(s.events().iter().all(|e| e.down));

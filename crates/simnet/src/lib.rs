@@ -26,12 +26,14 @@ pub mod sim;
 pub mod time;
 pub mod topology;
 pub mod traffic;
+pub mod trial;
 
-pub use binning::{assign_zones, BinningConfig, ZoneAssignment};
+pub use binning::{assign_zones, BinningConfig, ZoneAssignment, ZoneSummary};
 pub use churn::ChurnSchedule;
 pub use geo::{GeoPoint, PlacedNode, Region};
 pub use rng::{derive_seed, sub_rng};
 pub use sim::{Application, ComputeKind, Ctx, Payload, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LatencyModel, NodeIdx, NodeProfile, Topology, BASE_EDGE_FLOPS};
-pub use traffic::TrafficLedger;
+pub use traffic::{TrafficLedger, TrafficTotals};
+pub use trial::TrialReport;

@@ -19,15 +19,11 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::from_micros(1_000_000) + SimDuration::from_millis(500);
 /// assert_eq!(t.as_secs_f64(), 1.5);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -189,10 +185,7 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
-        assert_eq!(
-            SimDuration::from_millis(3),
-            SimDuration::from_micros(3_000)
-        );
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
         assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
     }
 

@@ -260,10 +260,7 @@ mod tests {
     #[test]
     fn rtt_is_twice_propagation() {
         let t = geo_topology(50);
-        assert_eq!(
-            t.rtt(3, 7).as_micros(),
-            2 * t.propagation(3, 7).as_micros()
-        );
+        assert_eq!(t.rtt(3, 7).as_micros(), 2 * t.propagation(3, 7).as_micros());
     }
 
     #[test]

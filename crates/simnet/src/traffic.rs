@@ -116,6 +116,62 @@ impl TrafficLedger {
             *t = NodeTraffic::default();
         }
     }
+
+    /// Sums every node's counters into a mergeable [`TrafficTotals`] value —
+    /// the form a finished trial hands back to the benchmark harness.
+    pub fn totals(&self) -> TrafficTotals {
+        let mut t = TrafficTotals::default();
+        for n in &self.per_node {
+            t.msgs_sent += n.msgs_sent;
+            t.msgs_recv += n.msgs_recv;
+            t.payload_sent += n.payload_sent;
+            t.payload_recv += n.payload_recv;
+            t.tcp_sent += n.tcp_sent;
+            t.udp_sent += n.udp_sent;
+        }
+        t
+    }
+}
+
+/// Whole-simulation traffic totals, summed over nodes.
+///
+/// Unlike [`TrafficLedger`] this is a small plain value with no per-node
+/// vectors, so trials can return it by value and sweeps can merge it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficTotals {
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_recv: u64,
+    /// Payload bytes sent.
+    pub payload_sent: u64,
+    /// Payload bytes received.
+    pub payload_recv: u64,
+    /// Wire bytes sent if every message used TCP.
+    pub tcp_sent: u64,
+    /// Wire bytes sent if every message used UDP.
+    pub udp_sent: u64,
+}
+
+impl TrafficTotals {
+    /// Adds another total into this one.
+    pub fn merge(&mut self, other: &TrafficTotals) {
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.payload_sent += other.payload_sent;
+        self.payload_recv += other.payload_recv;
+        self.tcp_sent += other.tcp_sent;
+        self.udp_sent += other.udp_sent;
+    }
+
+    /// `count / nodes` as a float mean (0 when `nodes` is 0).
+    pub fn mean_per_node(&self, count: u64, nodes: usize) -> f64 {
+        if nodes == 0 {
+            0.0
+        } else {
+            count as f64 / nodes as f64
+        }
+    }
 }
 
 fn mean(iter: impl Iterator<Item = u64>) -> f64 {
@@ -164,8 +220,7 @@ mod tests {
         assert_eq!(ledger.node(0).payload_sent, 3_000);
         assert_eq!(ledger.node(1).msgs_recv, 1);
         assert_eq!(ledger.total_msgs(), 2);
-        let expected =
-            (tcp_wire_bytes(1_000) + tcp_wire_bytes(2_000)) as f64 / 3.0;
+        let expected = (tcp_wire_bytes(1_000) + tcp_wire_bytes(2_000)) as f64 / 3.0;
         assert!((ledger.mean_tcp_sent() - expected).abs() < 1e-9);
     }
 

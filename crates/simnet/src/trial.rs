@@ -1,0 +1,144 @@
+//! Per-trial accounting reports.
+//!
+//! A *trial* is one self-contained simulation run (one `Simulator` with its
+//! own RNG streams). Historically the experiment binaries printed traffic
+//! and compute summaries mid-loop; [`TrialReport`] instead captures the
+//! accounting *by value* when the trial ends, so independent trials can run
+//! concurrently on worker threads and be merged, serialized, or rendered
+//! later — in trial order, independent of completion order.
+//!
+//! The report is a plain value: building one never mutates the simulator,
+//! and its [`TrialReport::to_json`] serialization is deterministic (fixed
+//! field order, no floats formatted with locale- or platform-dependent
+//! code paths), which the benchmark harness relies on for byte-identical
+//! output across `--jobs` settings.
+
+use crate::sim::{Application, Simulator};
+use crate::traffic::TrafficTotals;
+
+/// Accounting captured from one finished simulation trial.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrialReport {
+    /// Number of simulated nodes.
+    pub nodes: usize,
+    /// Simulated clock at capture time, in microseconds.
+    pub sim_end_us: u64,
+    /// Events processed by the simulator.
+    pub events: u64,
+    /// Messages dropped (loss or dead destination).
+    pub dropped: u64,
+    /// Aggregate traffic counters across all nodes.
+    pub traffic: TrafficTotals,
+    /// Total FL-task CPU microseconds across all nodes.
+    pub fl_us: u64,
+    /// Total DHT-task CPU microseconds across all nodes.
+    pub dht_us: u64,
+    /// Total application state bytes across all nodes at capture time.
+    pub memory_bytes: u64,
+}
+
+impl TrialReport {
+    /// Captures a report from a simulator.
+    pub fn capture<A: Application>(sim: &Simulator<A>) -> Self {
+        let memory_bytes = sim.apps().map(|a| a.memory_bytes() as u64).sum();
+        TrialReport {
+            nodes: sim.len(),
+            sim_end_us: sim.now().as_micros(),
+            events: sim.events_processed(),
+            dropped: sim.messages_dropped(),
+            traffic: sim.traffic().totals(),
+            fl_us: sim.compute().fl_us.iter().sum(),
+            dht_us: sim.compute().dht_us.iter().sum(),
+            memory_bytes,
+        }
+    }
+
+    /// Mean TCP wire bytes sent per node.
+    pub fn mean_tcp_sent(&self) -> f64 {
+        self.traffic
+            .mean_per_node(self.traffic.tcp_sent, self.nodes)
+    }
+
+    /// Mean UDP wire bytes sent per node.
+    pub fn mean_udp_sent(&self) -> f64 {
+        self.traffic
+            .mean_per_node(self.traffic.udp_sent, self.nodes)
+    }
+
+    /// Folds another report into this one (summing counters, taking the
+    /// later clock). Used when one logical trial spans several simulators.
+    pub fn merge(&mut self, other: &TrialReport) {
+        self.nodes += other.nodes;
+        self.sim_end_us = self.sim_end_us.max(other.sim_end_us);
+        self.events += other.events;
+        self.dropped += other.dropped;
+        self.traffic.merge(&other.traffic);
+        self.fl_us += other.fl_us;
+        self.dht_us += other.dht_us;
+        self.memory_bytes += other.memory_bytes;
+    }
+
+    /// Deterministic JSON rendering (fixed key order, integer counters).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"nodes\":{},\"sim_end_us\":{},\"events\":{},\"dropped\":{},",
+                "\"msgs_sent\":{},\"msgs_recv\":{},\"payload_sent\":{},\"payload_recv\":{},",
+                "\"tcp_sent\":{},\"udp_sent\":{},\"fl_us\":{},\"dht_us\":{},\"memory_bytes\":{}}}"
+            ),
+            self.nodes,
+            self.sim_end_us,
+            self.events,
+            self.dropped,
+            self.traffic.msgs_sent,
+            self.traffic.msgs_recv,
+            self.traffic.payload_sent,
+            self.traffic.payload_recv,
+            self.traffic.tcp_sent,
+            self.traffic.udp_sent,
+            self.fl_us,
+            self.dht_us,
+            self.memory_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = TrialReport {
+            nodes: 2,
+            sim_end_us: 10,
+            events: 5,
+            fl_us: 100,
+            ..TrialReport::default()
+        };
+        let b = TrialReport {
+            nodes: 3,
+            sim_end_us: 7,
+            events: 2,
+            dht_us: 50,
+            ..TrialReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes, 5);
+        assert_eq!(a.sim_end_us, 10);
+        assert_eq!(a.events, 7);
+        assert_eq!(a.fl_us, 100);
+        assert_eq!(a.dht_us, 50);
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let r = TrialReport {
+            nodes: 4,
+            sim_end_us: 123,
+            ..TrialReport::default()
+        };
+        assert_eq!(r.to_json(), r.clone().to_json());
+        assert!(r.to_json().starts_with("{\"nodes\":4,"));
+    }
+}

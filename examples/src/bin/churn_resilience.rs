@@ -89,7 +89,12 @@ fn main() {
         .sum();
     let reattached: usize = (0..n)
         .map(|i| {
-            deploy.sim().app(i).upper.state.repair_events
+            deploy
+                .sim()
+                .app(i)
+                .upper
+                .state
+                .repair_events
                 .iter()
                 .filter(|e| e.reattached.is_some())
                 .count()

@@ -50,8 +50,7 @@ fn compare(g: &totoro::bandit::LinkGraph, s: usize, d: usize, packets: usize, se
     ] {
         let mut rng = rand::SeedableRng::seed_from_u64(seed);
         let trial = run_trial(g, s, d, policy, packets, &mut rng);
-        let mean_delay =
-            trial.per_packet_delay.iter().sum::<u64>() as f64 / packets as f64;
+        let mean_delay = trial.per_packet_delay.iter().sum::<u64>() as f64 / packets as f64;
         println!(
             "{:<22} {:>9.2}   {:>12.1}   {:>6.1}%",
             policy.name(),

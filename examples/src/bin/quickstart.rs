@@ -15,11 +15,11 @@
 
 use std::sync::Arc;
 
-use totoro::{FlAppConfig, TotoroDeployment};
 use totoro::dht::DhtConfig;
 use totoro::ml::{speech_commands_like, TaskGenerator};
 use totoro::pubsub::ForestConfig;
 use totoro::simnet::{sub_rng, SimTime, Topology};
+use totoro::{FlAppConfig, TotoroDeployment};
 
 fn main() {
     let n = 32;
@@ -27,8 +27,12 @@ fn main() {
 
     // 1. The edge network: 32 nodes, 1-5 ms one-way latencies.
     let topology = Topology::uniform(n, 1_000, 5_000);
-    let mut deploy =
-        TotoroDeployment::new(topology, seed, DhtConfig::default(), ForestConfig::default());
+    let mut deploy = TotoroDeployment::new(
+        topology,
+        seed,
+        DhtConfig::default(),
+        ForestConfig::default(),
+    );
     println!("overlay up: {} nodes", deploy.len());
 
     // 2. The learning task: a 35-class synthetic classification problem
@@ -51,9 +55,7 @@ fn main() {
     // 3. Run until the target is reached.
     let finished = deploy.run(SimTime::from_micros(3_600 * 1_000_000));
     let master = deploy.master_of(app).expect("a master was promoted");
-    println!(
-        "master: node {master} (the node whose id is closest to the AppId)"
-    );
+    println!("master: node {master} (the node whose id is closest to the AppId)");
     println!("\nround  sim-time  accuracy");
     for p in deploy.curve(app) {
         println!("{:>5}  {:>7.1}s  {:.3}", p.round, p.time_secs, p.accuracy);

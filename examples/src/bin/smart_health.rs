@@ -10,10 +10,10 @@
 
 use std::sync::Arc;
 
+use totoro::dht::DhtConfig;
 use totoro::ml::{
     femnist_like, text_classification_like, AggregationRule, Compression, Privacy, TaskGenerator,
 };
-use totoro::dht::DhtConfig;
 use totoro::pubsub::ForestConfig;
 use totoro::simnet::{sub_rng, SimTime, Topology};
 use totoro::{FlAppConfig, SelectionPolicy, TotoroDeployment};
@@ -22,8 +22,12 @@ fn main() {
     let n = 48;
     let seed = 7;
     let topology = Topology::uniform(n, 1_000, 8_000);
-    let mut deploy =
-        TotoroDeployment::new(topology, seed, DhtConfig::default(), ForestConfig::default());
+    let mut deploy = TotoroDeployment::new(
+        topology,
+        seed,
+        DhtConfig::default(),
+        ForestConfig::default(),
+    );
     let mut rng = sub_rng(seed, "tasks");
 
     // Three applications over the same wearables, each with its own FL

@@ -19,9 +19,7 @@ use totoro::dht::{ids_for_zones, DhtConfig};
 use totoro::ml::{text_classification_like, TaskGenerator};
 use totoro::pubsub::ForestConfig;
 use totoro::simnet::geo::{eua_regions_scaled, generate};
-use totoro::simnet::{
-    assign_zones, sub_rng, BinningConfig, LatencyModel, SimTime, Topology,
-};
+use totoro::simnet::{assign_zones, sub_rng, BinningConfig, LatencyModel, SimTime, Topology};
 use totoro::{FlAppConfig, TotoroDeployment};
 
 fn main() {
@@ -117,13 +115,8 @@ fn main() {
     println!("[restricted medical app] tree members outside the home zone: {foreign_members}");
 
     // --- Cross-zone road-traffic application -------------------------------
-    let mut deploy = TotoroDeployment::with_ids(
-        topology,
-        seed + 1,
-        dht_config,
-        ForestConfig::default(),
-        ids,
-    );
+    let mut deploy =
+        TotoroDeployment::with_ids(topology, seed + 1, dht_config, ForestConfig::default(), ids);
     let mut cfg = FlAppConfig::new(
         "road-traffic-detection",
         vec![generator.spec.dim, 32, generator.spec.classes],

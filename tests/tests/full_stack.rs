@@ -162,10 +162,7 @@ fn totoro_scales_flatter_than_centralized() {
     let c6 = central_time(6);
     let totoro_growth = t6 / t1.max(1e-9);
     let central_growth = c6 / c1.max(1e-9);
-    assert!(
-        totoro_growth < 2.0,
-        "totoro not flat: {t1:.0}s -> {t6:.0}s"
-    );
+    assert!(totoro_growth < 2.0, "totoro not flat: {t1:.0}s -> {t6:.0}s");
     assert!(
         central_growth > 1.5 * totoro_growth,
         "centralized should queue: totoro x{totoro_growth:.2} vs central x{central_growth:.2}"
@@ -237,10 +234,7 @@ fn zone_restricted_training_never_leaves_home() {
 fn geographic_multi_ring_deployment_trains() {
     let seed = 34;
     let mut rng = sub_rng(seed, "geo");
-    let nodes = totoro_simnet::geo::generate(
-        &totoro_simnet::geo::eua_regions_scaled(80),
-        &mut rng,
-    );
+    let nodes = totoro_simnet::geo::generate(&totoro_simnet::geo::eua_regions_scaled(80), &mut rng);
     let topology = Topology::from_placements(
         &nodes,
         totoro_simnet::LatencyModel::Geo {
@@ -350,13 +344,10 @@ fn replan_ablation_attaches_faster_than_timeout_only() {
             ..ForestConfig::default()
         };
         let topology = Topology::uniform(n, 1_000, 5_000);
-        let (mut sim, _ids) = totoro_dht::spawn_overlay(
-            topology,
-            36,
-            DhtConfig::default(),
-            None,
-            |_i| Forest::new(EchoBlank, fconfig),
-        );
+        let (mut sim, _ids) =
+            totoro_dht::spawn_overlay(topology, 36, DhtConfig::default(), None, |_i| {
+                Forest::new(EchoBlank, fconfig)
+            });
         let topic = totoro_dht::app_id("flaky-ablation", "x", 1);
         for i in 0..n {
             sim.with_app(i, |node, ctx| {

@@ -1,0 +1,49 @@
+//! `any::<T>()` support.
+
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Any;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let m: f32 = rng.gen::<f32>() * 2.0 - 1.0;
+        let e: i32 = rng.gen_range(0u32..64) as i32 - 32;
+        m * (2.0f32).powi(e)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        let m: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let e: i32 = rng.gen_range(0u32..128) as i32 - 64;
+        m * (2.0f64).powi(e)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy/macro subset the workspace's property tests use,
+//! on top of the vendored deterministic `rand`:
+//!
+//! * the [`proptest!`] macro (multiple `fn name(pat in strategy, ...)` items,
+//!   doc comments, `mut` bindings);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`];
+//! * strategies: integer/float ranges, `any::<T>()`, tuples, string
+//!   literal character-class regexes (`"[a-z]{0,16}"`),
+//!   `prop::collection::vec`, `prop::collection::btree_set`, `Just`,
+//!   `.prop_filter(..)`, `.prop_map(..)`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the generated inputs' debug description (cases are reproducible — the
+//! per-case RNG is derived from the test's module path, name, and case
+//! index, so a failure always replays).
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// `prop::` paths as the real crate exposes them (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Each test body runs `PROPTEST_CASES` times (default 48) with inputs
+/// sampled from its strategies; `prop_assert*` failures panic with the case
+/// index so the exact inputs can be replayed.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::cases();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            let _ = $body;
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case,
+                            __cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (counts as a pass) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}

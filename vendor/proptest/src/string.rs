@@ -1,0 +1,105 @@
+//! String-literal regex strategies.
+//!
+//! Real proptest treats `&str` strategies as full regexes. This stand-in
+//! supports the subset the workspace uses — a sequence of character classes
+//! with optional counts, e.g. `"[a-z]{0,16}"`, `"[a-z]{1,12}"` — and
+//! panics loudly on anything it cannot parse so misuse is caught at test
+//! time rather than silently mis-sampled.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples a string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' => {
+                // Parse the class body up to ']'.
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                let mut body: Vec<char> = Vec::new();
+                for d in chars.by_ref() {
+                    if d == ']' {
+                        break;
+                    }
+                    body.push(d);
+                }
+                let mut i = 0;
+                while i < body.len() {
+                    if i + 2 < body.len() && body[i + 1] == '-' {
+                        ranges.push((body[i], body[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((body[i], body[i]));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "proptest stand-in: empty character class in {pattern:?}"
+                );
+                // Optional {m,n} / {n} counter.
+                let (lo, hi) = if chars.peek() == Some(&'{') {
+                    chars.next();
+                    let mut spec = String::new();
+                    for d in chars.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                        spec.push(d);
+                    }
+                    let parts: Vec<&str> = spec.split(',').collect();
+                    let parse = |s: &str| -> usize {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            panic!("proptest stand-in: bad repeat count in {pattern:?}")
+                        })
+                    };
+                    match parts.as_slice() {
+                        [n] => (parse(n), parse(n)),
+                        [m, n] => (parse(m), parse(n)),
+                        _ => panic!("proptest stand-in: bad repeat spec in {pattern:?}"),
+                    }
+                } else {
+                    (1, 1)
+                };
+                let count = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+                for _ in 0..count {
+                    let (a, b) = ranges[rng.gen_range(0..ranges.len())];
+                    let (a, b) = (a as u32, b as u32);
+                    let code = if a == b { a } else { rng.gen_range(a..=b) };
+                    out.push(char::from_u32(code).unwrap_or('a'));
+                }
+            }
+            // Literal characters outside classes pass through.
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lowercase_class_with_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z]{0,16}", &mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sample_pattern("abc", &mut rng), "abc");
+    }
+}

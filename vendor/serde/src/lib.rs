@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain-data types for
+//! forward compatibility but contains no serde data format (benchmark
+//! reports are serialized through their own deterministic JSON writer).
+//! This stand-in keeps those annotations compiling without the real crate:
+//! the traits are markers with blanket implementations, and the derive
+//! macros (re-exported from the vendored `serde_derive`) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+// The derive macros live in the macro namespace, the traits in the type
+// namespace, so the same names can be re-exported side by side — exactly as
+// the real serde does.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; every type satisfies it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; every type satisfies it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+/// Stand-in for serde's `de` module.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for serde's `ser` module.
+pub mod ser {
+    pub use crate::Serialize;
+}

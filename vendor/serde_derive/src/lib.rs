@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates many plain-data types with
+//! `#[derive(Serialize, Deserialize)]` but never actually serializes them
+//! through a serde data format (no `serde_json` or similar is in the
+//! dependency tree — benchmark reports use their own deterministic JSON
+//! writer). The vendored `serde` crate's traits are blanket-implemented, so
+//! these derives only need to *exist and parse*; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
