@@ -13,7 +13,8 @@ use std::sync::Arc;
 
 use totoro_ml::{accuracy, AccuracyPoint, Dataset, Mlp, ModelUpdate};
 use totoro_simnet::{
-    Application, ComputeKind, Ctx, NodeIdx, Payload, SimDuration, SimTime, Simulator, Topology,
+    Application, ComputeKind, Ctx, NodeIdx, Payload, Shared, SimDuration, SimTime, Simulator,
+    Topology,
 };
 
 use crate::spec::{AppSpec, ServerProfile};
@@ -37,8 +38,8 @@ pub enum CentralMsg {
         app: usize,
         /// Round number.
         round: u64,
-        /// Global model weights.
-        weights: Arc<Vec<f32>>,
+        /// Global model weights, shared across the round's whole fan-out.
+        weights: Shared<Vec<f32>>,
     },
     /// Client → server: the trained update.
     Upload {
@@ -203,7 +204,7 @@ impl Server {
         run.received = 0;
         run.acc = ModelUpdate::zero(run.model.num_params());
         run.last_proc = ctx.now();
-        let weights = Arc::new(run.model.to_weights());
+        let weights = Shared::new(run.model.to_weights());
         let round = run.round;
         for &c in &run.participants {
             ctx.send(
@@ -211,7 +212,7 @@ impl Server {
                 CentralMsg::Download {
                     app,
                     round,
-                    weights: Arc::clone(&weights),
+                    weights: weights.clone(),
                 },
             );
         }
@@ -492,13 +493,15 @@ impl CentralizedEngine {
         }
         let participants = participants.to_vec();
         let server = self.server;
-        self.sim.with_app(server, move |node, ctx| {
-            if let CentralNode::Server(s) = node {
-                s.submit_app(ctx, spec, participants)
-            } else {
-                unreachable!("node 0 is the server")
-            }
-        })
+        self.sim
+            .with_app(server, move |node, ctx| {
+                if let CentralNode::Server(s) = node {
+                    s.submit_app(ctx, spec, participants)
+                } else {
+                    unreachable!("node 0 is the server")
+                }
+            })
+            .expect("the server never churns")
     }
 
     /// Runs until every submitted application is done or `deadline` of

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the simulator hot path: event churn,
+//! multicast fan-out (clone-per-child vs shared payload), and timer storms.
+//!
+//! The workloads are the same deterministic functions the `simcore`
+//! scenario times end-to-end (`totoro_bench::simcore`); here criterion
+//! samples them at smaller sizes for quick per-commit comparisons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use totoro_bench::simcore::{run_event_churn, run_multicast, run_timer_storm};
+
+fn bench_event_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_core");
+    group.sample_size(10);
+    group.bench_with_input(
+        criterion::BenchmarkId::new("event_churn", "n=500,hops=1000"),
+        &(),
+        |b, _| {
+            b.iter(|| std::hint::black_box(run_event_churn(500, 16, 1_000)));
+        },
+    );
+    group.finish();
+}
+
+fn bench_multicast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_core");
+    group.sample_size(10);
+    // 64 Ki floats (256 KB) down a fanout-16 depth-2 tree; the clone
+    // variant deep-copies the payload per child, the shared variant bumps
+    // refcounts. The events/sec gap is the win the tentpole claims.
+    group.bench_with_input(
+        criterion::BenchmarkId::new("multicast_clone", "n=273,f=16,256KB"),
+        &(),
+        |b, _| {
+            b.iter(|| std::hint::black_box(run_multicast(273, 16, 65_536, 1, false)));
+        },
+    );
+    group.bench_with_input(
+        criterion::BenchmarkId::new("multicast_shared", "n=273,f=16,256KB"),
+        &(),
+        |b, _| {
+            b.iter(|| std::hint::black_box(run_multicast(273, 16, 65_536, 1, true)));
+        },
+    );
+    group.finish();
+}
+
+fn bench_timer_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_core");
+    group.sample_size(10);
+    group.bench_with_input(
+        criterion::BenchmarkId::new("timer_storm", "n=500,t=16,r=5"),
+        &(),
+        |b, _| {
+            b.iter(|| std::hint::black_box(run_timer_storm(500, 16, 5)));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    sim_core,
+    bench_event_churn,
+    bench_multicast,
+    bench_timer_storm
+);
+criterion_main!(sim_core);

@@ -32,3 +32,4 @@ pub mod report;
 pub mod scenario;
 pub mod scenarios;
 pub mod setups;
+pub mod simcore;

@@ -1,0 +1,187 @@
+//! `simcore` — simulator hot-path throughput (events/sec), the repo's perf
+//! trajectory baseline.
+//!
+//! Unlike the paper figures, this scenario measures *wall-clock* speed of
+//! the simulator itself, so its numbers vary run to run and machine to
+//! machine; it is exempt from the byte-identical determinism contract (the
+//! event counts inside it are still deterministic and asserted). Results
+//! are also written to `BENCH_simcore.json` so successive PRs can track
+//! the trend — see DESIGN.md § "Simulator performance".
+//!
+//! Run with `--jobs 1` (the default): timing trials concurrently on one
+//! machine would measure contention, not the event loop.
+
+use std::time::Instant;
+
+use crate::scenario::{Params, Scenario, Trial, TrialReport};
+use crate::simcore::{run_event_churn, run_multicast, run_timer_storm};
+
+/// Scenario registration for the simulator hot-path benchmark.
+pub struct Simcore;
+
+struct Sizes {
+    churn_nodes: usize,
+    churn_tokens: usize,
+    churn_hops: u64,
+    mc_nodes: usize,
+    mc_fanout: usize,
+    mc_weights: usize,
+    mc_rounds: u64,
+    timer_nodes: usize,
+    timer_timers: u64,
+    timer_refires: u64,
+}
+
+fn sizes(mode: &str) -> Sizes {
+    match mode {
+        // CI smoke: a couple hundred thousand events, a few seconds even in
+        // debug builds.
+        "smoke" => Sizes {
+            churn_nodes: 200,
+            churn_tokens: 16,
+            churn_hops: 2_000,
+            mc_nodes: 85,
+            mc_fanout: 4,
+            mc_weights: 65_536,
+            mc_rounds: 2,
+            timer_nodes: 200,
+            timer_timers: 8,
+            timer_refires: 10,
+        },
+        // Full: millions of events; the multicast payload is a 1.1 MB
+        // update (fanout 16, depth 2), enough for the clone-per-child
+        // baseline to be memcpy-bound without exhausting small machines.
+        _ => Sizes {
+            churn_nodes: 2_000,
+            churn_tokens: 64,
+            churn_hops: 20_000,
+            mc_nodes: 273,
+            mc_fanout: 16,
+            mc_weights: 275_000,
+            mc_rounds: 4,
+            timer_nodes: 2_000,
+            timer_timers: 32,
+            timer_refires: 20,
+        },
+    }
+}
+
+fn timed(f: impl FnOnce() -> u64) -> (u64, f64) {
+    let start = Instant::now();
+    let events = f();
+    (events, start.elapsed().as_secs_f64() * 1_000.0)
+}
+
+impl Scenario for Simcore {
+    fn name(&self) -> &'static str {
+        "simcore"
+    }
+
+    fn description(&self) -> &'static str {
+        "simulator hot-path events/sec baseline (perf; not byte-deterministic)"
+    }
+
+    fn trials(&self, params: &Params) -> Vec<Trial> {
+        let mode = params.extra_str("mode", "full");
+        let m = u64::from(mode == "smoke");
+        Trial::seal(
+            [
+                "event_churn",
+                "multicast_clone",
+                "multicast_shared",
+                "timer_storm",
+            ]
+            .iter()
+            .map(|w| Trial::new(w, params.seed).with("smoke", m))
+            .collect(),
+        )
+    }
+
+    fn run(&self, trial: &Trial) -> TrialReport {
+        let s = sizes(if trial.get("smoke") == 1 {
+            "smoke"
+        } else {
+            "full"
+        });
+        let mut report = TrialReport::for_trial(trial);
+        let (events, wall_ms) = match trial.setup.as_str() {
+            "event_churn" => timed(|| run_event_churn(s.churn_nodes, s.churn_tokens, s.churn_hops)),
+            "multicast_clone" => {
+                timed(|| run_multicast(s.mc_nodes, s.mc_fanout, s.mc_weights, s.mc_rounds, false))
+            }
+            "multicast_shared" => {
+                timed(|| run_multicast(s.mc_nodes, s.mc_fanout, s.mc_weights, s.mc_rounds, true))
+            }
+            "timer_storm" => {
+                timed(|| run_timer_storm(s.timer_nodes, s.timer_timers, s.timer_refires))
+            }
+            other => panic!("unknown simcore workload {other:?}"),
+        };
+        report.push_metric("events", events as f64);
+        report.push_metric("wall_ms", wall_ms);
+        report.push_metric(
+            "events_per_sec",
+            events as f64 / (wall_ms / 1_000.0).max(1e-9),
+        );
+        report
+    }
+
+    fn render(&self, params: &Params, reports: &[TrialReport]) -> String {
+        let mode = params.extra_str("mode", "full");
+        let mut out = String::new();
+        out.push_str("# simcore: simulator hot-path throughput\n\n");
+        out.push_str(&format!("mode: {mode}\n\n"));
+        out.push_str("| workload | events | wall (ms) | events/sec |\n|---|---|---|---|\n");
+        for r in reports {
+            out.push_str(&format!(
+                "| {} | {} | {:.1} | {:.0} |\n",
+                r.setup,
+                r.metric("events"),
+                r.metric("wall_ms"),
+                r.metric("events_per_sec"),
+            ));
+        }
+        let clone_ms = reports
+            .iter()
+            .find(|r| r.setup == "multicast_clone")
+            .map(|r| r.metric("wall_ms"));
+        let shared_ms = reports
+            .iter()
+            .find(|r| r.setup == "multicast_shared")
+            .map(|r| r.metric("wall_ms"));
+        let speedup = match (clone_ms, shared_ms) {
+            (Some(c), Some(s)) if s > 0.0 => c / s,
+            _ => f64::NAN,
+        };
+        out.push_str(&format!(
+            "\nmulticast shared-vs-clone speedup: {speedup:.2}x\n"
+        ));
+
+        // Persist the trajectory point unless disabled (`--out none`).
+        let path = params.extra_str("out", "BENCH_simcore.json");
+        if path != "none" {
+            let workloads: Vec<String> = reports
+                .iter()
+                .map(|r| {
+                    format!(
+                        "    {{\"name\":\"{}\",\"events\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.0}}}",
+                        r.setup,
+                        r.metric("events"),
+                        r.metric("wall_ms"),
+                        r.metric("events_per_sec"),
+                    )
+                })
+                .collect();
+            let json = format!(
+                "{{\n  \"schema\": \"totoro-simcore/v1\",\n  \"mode\": \"{mode}\",\n  \"workloads\": [\n{}\n  ],\n  \"multicast_speedup_shared_over_clone\": {speedup:.2}\n}}\n",
+                workloads.join(",\n"),
+            );
+            if let Err(e) = std::fs::write(&path, json) {
+                out.push_str(&format!("\nWARNING: could not write {path}: {e}\n"));
+            } else {
+                out.push_str(&format!("\nwrote {path}\n"));
+            }
+        }
+        out
+    }
+}

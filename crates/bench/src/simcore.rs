@@ -1,0 +1,223 @@
+//! Simulator hot-path workloads shared by the `sim_core` criterion group
+//! and the `simcore` perf scenario.
+//!
+//! Each workload is a deterministic pure function from sizes to a finished
+//! [`Simulator`] run, returning the number of events processed; callers
+//! wrap them in wall-clock timing to derive events/sec. Three pressure
+//! points are covered:
+//!
+//! * **event churn** — many tiny messages hopping a ring: the raw cost of
+//!   the heap + slab + scratch event loop;
+//! * **multicast fan-out** — a model-sized payload disseminating down a
+//!   k-ary tree, in both clone-per-child (the pre-optimization baseline)
+//!   and [`Shared`] (reference-counted) flavors;
+//! * **timer storm** — thousands of concurrently armed timers: heap
+//!   pressure with zero-byte payloads.
+
+use totoro_simnet::{Application, Ctx, NodeIdx, Payload, Shared, SimDuration, Simulator, Topology};
+
+/// Fixed per-hop delay for every workload: `Topology::uniform` with
+/// `min == max` and jitter 0 never touches the RNG, so measured time is
+/// pure event-loop cost.
+fn flat_topology(n: usize) -> Topology {
+    Topology::uniform(n, 100, 100)
+}
+
+// ---------------------------------------------------------------- churn --
+
+#[derive(Clone)]
+struct Hop(u64);
+
+impl Payload for Hop {
+    fn size_bytes(&self) -> usize {
+        16
+    }
+}
+
+struct ChurnNode {
+    n: usize,
+}
+
+impl Application for ChurnNode {
+    type Msg = Hop;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Hop>, _from: NodeIdx, msg: Hop) {
+        if msg.0 > 0 {
+            ctx.send((ctx.me() + 1) % self.n, Hop(msg.0 - 1));
+        }
+    }
+}
+
+/// Circulates `tokens` tokens around an `n`-ring, each making `hops + 1`
+/// deliveries. Returns events processed (exactly
+/// `n` starts + `tokens × (hops + 1)` deliveries).
+pub fn run_event_churn(n: usize, tokens: usize, hops: u64) -> u64 {
+    let mut sim = Simulator::new(flat_topology(n), 1, |_| ChurnNode { n });
+    let tokens = tokens.min(n);
+    for t in 0..tokens {
+        let _ = sim.with_app(t, |_node, ctx| {
+            let next = (ctx.me() + 1) % n;
+            ctx.send(next, Hop(hops));
+        });
+    }
+    assert!(sim.run_until_quiet(u64::MAX));
+    sim.events_processed()
+}
+
+// ------------------------------------------------------------ multicast --
+
+/// Multicast payload: either deep-copied per child (the pre-optimization
+/// baseline) or reference-counted via [`Shared`].
+#[derive(Clone)]
+enum McMsg {
+    Cloned(Vec<f32>),
+    Shared(Shared<Vec<f32>>),
+}
+
+impl McMsg {
+    fn weights(&self) -> usize {
+        match self {
+            McMsg::Cloned(w) => w.len(),
+            McMsg::Shared(w) => w.len(),
+        }
+    }
+}
+
+impl Payload for McMsg {
+    fn size_bytes(&self) -> usize {
+        16 + self.weights() * 4
+    }
+}
+
+struct TreeNode {
+    fanout: usize,
+    n: usize,
+    received: u64,
+}
+
+impl TreeNode {
+    fn forward(&self, ctx: &mut Ctx<'_, McMsg>, msg: &McMsg) {
+        let first = ctx.me() * self.fanout + 1;
+        for c in first..(first + self.fanout).min(self.n) {
+            // The measured operation: for `Cloned` this deep-copies the
+            // weights per child; for `Shared` it bumps a refcount.
+            ctx.send(c, msg.clone());
+        }
+    }
+}
+
+impl Application for TreeNode {
+    type Msg = McMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, McMsg>, _from: NodeIdx, msg: McMsg) {
+        self.received += 1;
+        self.forward(ctx, &msg);
+    }
+}
+
+/// Disseminates a `weights`-float payload down a complete `fanout`-ary tree
+/// of `n` nodes, `rounds` times; `shared` picks the payload flavor.
+/// Returns events processed. Panics if any node missed a round.
+pub fn run_multicast(n: usize, fanout: usize, weights: usize, rounds: u64, shared: bool) -> u64 {
+    let mut sim = Simulator::new(flat_topology(n), 2, |_| TreeNode {
+        fanout,
+        n,
+        received: 0,
+    });
+    for _ in 0..rounds {
+        let _ = sim.with_app(0, |node, ctx| {
+            let w = vec![0.5f32; weights];
+            let msg = if shared {
+                McMsg::Shared(Shared::new(w))
+            } else {
+                McMsg::Cloned(w)
+            };
+            node.forward(ctx, &msg);
+        });
+        assert!(sim.run_until_quiet(u64::MAX));
+    }
+    for i in 1..n {
+        assert_eq!(sim.app(i).received, rounds, "node {i} missed a round");
+    }
+    sim.events_processed()
+}
+
+// ---------------------------------------------------------- timer storm --
+
+struct TimerNode {
+    timers: u64,
+    refires: u64,
+    fired: u64,
+}
+
+#[derive(Clone)]
+struct Nil;
+
+impl Payload for Nil {
+    fn size_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl Application for TimerNode {
+    type Msg = Nil;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Nil>) {
+        for t in 0..self.timers {
+            // Stagger phases so firings interleave across nodes.
+            let phase = (ctx.me() as u64 * 37 + t * 101) % 1_000;
+            ctx.set_timer(SimDuration::from_micros(100 + phase), t);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Nil>, _from: NodeIdx, _msg: Nil) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Nil>, token: u64) {
+        self.fired += 1;
+        if self.fired < self.timers * self.refires {
+            ctx.set_timer(SimDuration::from_micros(500 + (token % 97)), token);
+        }
+    }
+}
+
+/// Arms `timers` timers on each of `n` nodes; every firing re-arms until
+/// the node has fired `timers × refires` times, then the still-armed
+/// timers drain (so each node fires `timers + timers × refires − 1` times
+/// in total). Returns events processed.
+pub fn run_timer_storm(n: usize, timers: u64, refires: u64) -> u64 {
+    let mut sim = Simulator::new(flat_topology(n), 3, |_| TimerNode {
+        timers,
+        refires,
+        fired: 0,
+    });
+    assert!(sim.run_until_quiet(u64::MAX));
+    sim.events_processed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_event_count_is_exact() {
+        let events = run_event_churn(50, 4, 100);
+        assert_eq!(events, 50 + 4 * 101);
+    }
+
+    #[test]
+    fn multicast_flavors_process_identical_events() {
+        let cloned = run_multicast(85, 4, 256, 2, false);
+        let shared = run_multicast(85, 4, 256, 2, true);
+        // The sharing optimization must be invisible to the event stream.
+        assert_eq!(cloned, shared);
+        // n starts + 2 rounds × (n - 1) deliveries.
+        assert_eq!(cloned, 85 + 2 * 84);
+    }
+
+    #[test]
+    fn timer_storm_fires_every_timer() {
+        let events = run_timer_storm(20, 8, 3);
+        // n starts + n × (timers + timers × refires − 1) firings.
+        assert_eq!(events, 20 + 20 * (8 + 8 * 3 - 1));
+    }
+}

@@ -1,0 +1,59 @@
+//! Golden determinism tests for the simulator hot path.
+//!
+//! The fixtures under `tests/golden/` were captured from the scenario
+//! binaries *before* the zero-allocation/shared-payload optimization of
+//! the event loop, at reduced-size parameter points. Byte-comparing
+//! against them pins the full observable surface — rendered tables,
+//! `events_processed`, final `now()`, traffic, and memory accounting — so
+//! any optimization that perturbs event order, RNG streams, or accounting
+//! fails loudly here rather than silently skewing a figure.
+//!
+//! To regenerate after an *intentional* output change:
+//!
+//! ```text
+//! cargo run --release --bin totoro-bench -- fig7 --nodes 60 --window-secs 20 \
+//!     > crates/bench/tests/golden/fig7_n60_w20_seed1.txt
+//! ```
+//! (and likewise for the `.json` and fig5 fixtures) — and say so in the PR.
+
+use totoro_bench::scenario::{execute, parse_params};
+use totoro_bench::scenarios;
+
+fn run(name: &str, args: &[&str]) -> String {
+    let scenario = scenarios::find(name).expect("scenario registered");
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let params = parse_params(scenario.default_params(), &args).expect("valid args");
+    execute(scenario.as_ref(), &params)
+}
+
+#[test]
+fn fig7_small_output_matches_pre_optimization_golden() {
+    let got = run("fig7", &["--nodes", "60", "--window-secs", "20"]);
+    assert_eq!(got, include_str!("golden/fig7_n60_w20_seed1.txt"));
+}
+
+/// The JSON view additionally pins the raw counters (`events`,
+/// `sim_end_us`, `memory_bytes`, per-class traffic) for every trial.
+#[test]
+fn fig7_small_json_matches_pre_optimization_golden() {
+    let got = run("fig7", &["--nodes", "60", "--window-secs", "20", "--json"]);
+    assert_eq!(got, include_str!("golden/fig7_n60_w20_seed1.json"));
+}
+
+/// Worker count must never leak into output (the golden fixtures were
+/// captured single-threaded).
+#[test]
+fn fig7_small_output_is_jobs_invariant() {
+    let got = run(
+        "fig7",
+        &["--nodes", "60", "--window-secs", "20", "--jobs", "4"],
+    );
+    assert_eq!(got, include_str!("golden/fig7_n60_w20_seed1.txt"));
+}
+
+#[test]
+#[ignore = "takes ~45 s even in release; CI runs it via `--release -- --ignored`"]
+fn fig5_small_output_matches_pre_optimization_golden() {
+    let got = run("fig5", &["--nodes", "150", "--trees", "30"]);
+    assert_eq!(got, include_str!("golden/fig5_n150_t30_seed1.txt"));
+}

@@ -11,6 +11,15 @@ use totoro_pubsub::TreeData;
 use totoro_simnet::Payload;
 
 /// Model or update data flowing through an application's tree.
+///
+/// Deliberately a plain owned struct, not a [`totoro_simnet::Shared`]
+/// payload: `FlData` is *stored* in per-round aggregation state whose
+/// `memory_bytes` accounting uses `size_of` on the stored type (Figure
+/// 13b), and upward partials are mutated by `combine` at every interior
+/// node. The broadcast fan-out still shares — the forest wraps the whole
+/// `FlData` in `Shared` at the message layer (`TreeMsg::Broadcast`), so
+/// per-child clones are refcount bumps (see DESIGN.md § "Simulator
+/// performance").
 #[derive(Clone, Debug)]
 pub struct FlData {
     /// Raw values: global weights (downward) or `Σ weights_i · n_i`

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use totoro_simnet::{ComputeKind, Ctx, NodeIdx, Payload, SimDuration, SimTime};
+use totoro_simnet::{ComputeKind, Ctx, NodeIdx, Payload, Shared, SimDuration, SimTime};
 
 use crate::id::Id;
 use crate::routing::{next_hop, NextHop};
@@ -62,8 +62,9 @@ pub enum DhtMsg<P> {
     LeafExchange {
         /// The sender.
         from: Contact,
-        /// The sender's current leaf-set members.
-        members: Vec<Contact>,
+        /// The sender's current leaf-set members, shared across the whole
+        /// gossip fan-out (every member receives the same snapshot).
+        members: Shared<Vec<Contact>>,
     },
     /// Key-routed upper-layer payload.
     Route {
@@ -472,22 +473,28 @@ impl<U: UpperLayer> DhtNode<U> {
             .tick
             .is_multiple_of(u64::from(self.maintenance.gossip_every_ticks.max(1)));
         let members: Vec<Contact> = self.state.leaf_set.members().collect();
-        for c in &members {
-            if gossip {
+        let count = members.len();
+        if gossip {
+            // One shared snapshot for the whole fan-out: each member's copy
+            // of the gossip is a reference-count bump, not a Vec clone.
+            let members = Shared::new(members);
+            for i in 0..count {
                 ctx.send(
-                    c.addr,
+                    members[i].addr,
                     DhtMsg::LeafExchange {
                         from: me,
                         members: members.clone(),
                     },
                 );
-            } else {
+            }
+        } else {
+            for c in &members {
                 ctx.send(c.addr, DhtMsg::Heartbeat { from: me });
             }
         }
         ctx.charge_compute(
             ComputeKind::DhtTask,
-            SimDuration::from_micros(20 + 2 * members.len() as u64),
+            SimDuration::from_micros(20 + 2 * count as u64),
         );
         self.start_maintenance(ctx);
     }
@@ -675,7 +682,7 @@ impl<U: UpperLayer> totoro_simnet::Application for DhtNode<U> {
             DhtMsg::LeafExchange { from, members } => {
                 self.learn(ctx, from);
                 self.last_seen.insert(from.addr, ctx.now());
-                for c in members {
+                for &c in members.iter() {
                     self.learn(ctx, c);
                 }
             }

@@ -208,18 +208,22 @@ fn zone_restricted_packets_never_cross_zones() {
 
     // A zone-1 node routes a restricted packet keyed into zone 9: blocked.
     let foreign_key = Id::compose(9, zone_bits, 12345);
-    let accepted = sim.with_app(0, |node, ctx| {
-        node.with_api(ctx, |_u, api| api.route(foreign_key, Blob(1), true))
-    });
+    let accepted = sim
+        .with_app(0, |node, ctx| {
+            node.with_api(ctx, |_u, api| api.route(foreign_key, Blob(1), true))
+        })
+        .expect("node 0 is up");
     assert!(!accepted, "restricted packet escaped its zone");
     assert!(sim.app(0).stats.blocked >= 1);
 
     // A restricted packet keyed inside the home zone is delivered, and only
     // zone-1 nodes ever see it.
     let home_key = Id::compose(1, zone_bits, 999);
-    let accepted = sim.with_app(0, |node, ctx| {
-        node.with_api(ctx, |_u, api| api.route(home_key, Blob(2), true))
-    });
+    let accepted = sim
+        .with_app(0, |node, ctx| {
+            node.with_api(ctx, |_u, api| api.route(home_key, Blob(2), true))
+        })
+        .expect("node 0 is up");
     assert!(accepted);
     converge(&mut sim, 60);
     let delivered_at: Vec<usize> = (0..n)

@@ -12,7 +12,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use totoro_dht::{Contact, DhtApi, Id, UpperLayer};
-use totoro_simnet::{ComputeKind, NodeIdx, SimDuration, SimTime};
+use totoro_simnet::{ComputeKind, NodeIdx, Shared, SimDuration, SimTime};
 
 use crate::membership::{Membership, RepairEvent};
 use crate::msg::{TreeData, TreeMsg};
@@ -295,13 +295,17 @@ impl<D: TreeData> ForestApi<'_, '_, '_, D> {
         let now = self.now();
         let record = self.config.record_events;
         let agg_timeout = self.config.agg_timeout;
+        // Wrap once; every child gets a reference-count bump of the same
+        // payload. `self.forest` and `self.dht` are disjoint fields, so the
+        // membership borrow can span the sends without cloning `children`.
+        let data = Shared::new(data);
         let m = self.forest.tree_mut(topic, now);
         m.last_broadcast_round = Some(round);
         m.prune_rounds(round.saturating_sub(8));
-        let children = m.children.clone();
         let depth = if m.is_root { 0 } else { m.depth };
+        let n_children = m.children.len();
         let ra = m.rounds.entry(round).or_default();
-        ra.expected = children.len() + usize::from(expect_local);
+        ra.expected = n_children + usize::from(expect_local);
         if record {
             self.forest.broadcast_log.push(BroadcastEvent {
                 topic,
@@ -310,7 +314,8 @@ impl<D: TreeData> ForestApi<'_, '_, '_, D> {
                 depth,
             });
         }
-        for c in &children {
+        let m = self.forest.membership(topic).expect("tree exists");
+        for c in &m.children {
             self.dht.send_direct(
                 c.addr,
                 TreeMsg::Broadcast {
@@ -321,7 +326,7 @@ impl<D: TreeData> ForestApi<'_, '_, '_, D> {
                 },
             );
         }
-        self.forest.stats.broadcasts_forwarded += children.len() as u64;
+        self.forest.stats.broadcasts_forwarded += n_children as u64;
         self.arm_round_timer(topic, round, agg_timeout);
     }
 
@@ -559,7 +564,7 @@ impl<F: ForestApp> Forest<F> {
         topic: Id,
         round: u64,
         depth: u16,
-        data: F::Data,
+        data: Shared<F::Data>,
     ) {
         let now = dht.now();
         let me_addr = dht.addr();
@@ -592,22 +597,16 @@ impl<F: ForestApp> Forest<F> {
             m.depth = depth.saturating_add(1);
         }
         let my_depth = m.depth;
-        let children = m.children.clone();
+        let n_children = m.children.len();
         let subscriber = m.subscriber;
         let ra = m.rounds.entry(round).or_default();
-        ra.expected = children.len();
+        ra.expected = n_children;
 
-        if record {
-            self.state.broadcast_log.push(BroadcastEvent {
-                topic,
-                round,
-                at: now,
-                depth: my_depth,
-            });
-        }
-
-        // Forward down the tree.
-        for c in &children {
+        // Forward down the tree: the payload is already `Shared`, so each
+        // per-child clone is a reference-count bump, and `dht` is a
+        // separate borrow from the membership, so the child list is
+        // iterated in place rather than cloned.
+        for c in &m.children {
             dht.send_direct(
                 c.addr,
                 TreeMsg::Broadcast {
@@ -618,7 +617,16 @@ impl<F: ForestApp> Forest<F> {
                 },
             );
         }
-        self.state.stats.broadcasts_forwarded += children.len() as u64;
+        self.state.stats.broadcasts_forwarded += n_children as u64;
+
+        if record {
+            self.state.broadcast_log.push(BroadcastEvent {
+                topic,
+                round,
+                at: now,
+                depth: my_depth,
+            });
+        }
 
         // Local participation.
         let mut local_contribution = false;
@@ -647,7 +655,7 @@ impl<F: ForestApp> Forest<F> {
         }
         // A childless node with nothing to contribute must tell its parent
         // immediately so the round does not stall on the straggler cutoff.
-        if children.is_empty() && !local_contribution {
+        if n_children == 0 && !local_contribution {
             let m = self.state.tree_mut(topic, now);
             if let Some(ra) = m.rounds.get_mut(&round) {
                 ra.flushed = true;
@@ -868,12 +876,15 @@ impl<F: ForestApp> Forest<F> {
         let join_retry = tick.saturating_mul(u64::from(self.config.join_retry_ticks));
         let me = me_contact(dht);
 
-        let topics: Vec<Id> = self.state.trees.keys().copied().collect();
+        // Iterate the tree map in place (`dht` is a separate borrow); the
+        // tick fires every node every few sim-seconds, so avoiding the
+        // per-tick key collection matters. The repair/replan/rejoin lists
+        // are almost always empty and allocate nothing then.
+        let n_topics = self.state.trees.len() as u64;
         let mut to_repair = Vec::new();
         let mut to_replan = Vec::new();
         let mut to_rejoin = Vec::new();
-        for &topic in &topics {
-            let m = self.state.trees.get_mut(&topic).expect("topic exists");
+        for (&topic, m) in self.state.trees.iter_mut() {
             // Keep-alive toward children.
             let depth = if m.is_root { 0 } else { m.depth };
             for c in &m.children {
@@ -939,7 +950,7 @@ impl<F: ForestApp> Forest<F> {
         }
         dht.charge_compute(
             ComputeKind::DhtTask,
-            SimDuration::from_micros(10 + 2 * topics.len() as u64),
+            SimDuration::from_micros(10 + 2 * n_topics),
         );
         dht.set_timer(tick, 0);
     }

@@ -1,7 +1,7 @@
 //! Messages of the publish/subscribe forest protocol.
 
 use totoro_dht::{Contact, Id};
-use totoro_simnet::{NodeIdx, Payload};
+use totoro_simnet::{NodeIdx, Payload, Shared};
 
 /// Data that can ride a dataflow tree.
 ///
@@ -45,6 +45,11 @@ pub enum TreeMsg<D> {
         child: NodeIdx,
     },
     /// Parent → child: model dissemination down the tree.
+    ///
+    /// The payload is [`Shared`]: the same model goes verbatim to every
+    /// child at every hop, so the fan-out clones reference-count bumps
+    /// instead of copying tensors. `Shared` reports the inner payload's
+    /// `size_bytes`, so wire accounting is unchanged.
     Broadcast {
         /// Tree topic.
         topic: Id,
@@ -53,7 +58,7 @@ pub enum TreeMsg<D> {
         /// Depth of the *sender*; receiver depth is +1.
         depth: u16,
         /// The disseminated data (e.g. serialized model weights).
-        data: D,
+        data: Shared<D>,
     },
     /// Child → parent (or self → self for a local contribution): partially
     /// aggregated updates climbing toward the root.
@@ -132,13 +137,13 @@ mod tests {
             topic: Id::ZERO,
             round: 0,
             depth: 0,
-            data: Vecs(vec![0.0; 10]),
+            data: Shared::new(Vecs(vec![0.0; 10])),
         };
         let big = TreeMsg::Broadcast {
             topic: Id::ZERO,
             round: 0,
             depth: 0,
-            data: Vecs(vec![0.0; 1000]),
+            data: Shared::new(Vecs(vec![0.0; 1000])),
         };
         assert!(big.size_bytes() > small.size_bytes() + 3_000);
         let hb: TreeMsg<Vecs> = TreeMsg::ParentHeartbeat {

@@ -21,6 +21,7 @@
 pub mod binning;
 pub mod churn;
 pub mod geo;
+pub mod payload;
 pub mod rng;
 pub mod sim;
 pub mod time;
@@ -31,6 +32,7 @@ pub mod trial;
 pub use binning::{assign_zones, BinningConfig, ZoneAssignment, ZoneSummary};
 pub use churn::ChurnSchedule;
 pub use geo::{GeoPoint, PlacedNode, Region};
+pub use payload::Shared;
 pub use rng::{derive_seed, sub_rng};
 pub use sim::{Application, ComputeKind, Ctx, Payload, Simulator};
 pub use time::{SimDuration, SimTime};

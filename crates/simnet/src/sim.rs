@@ -5,6 +5,21 @@
 //! samples per-message delay and loss from the [`Topology`] and delivers
 //! events in deterministic `(time, sequence)` order. This models the paper's
 //! EC2 emulation (1 JVM = 1 edge node, §7.1) while staying reproducible.
+//!
+//! # Hot-path layout
+//!
+//! Simulator throughput bounds every experiment, so the event loop is built
+//! to avoid per-event allocation and large memmoves:
+//!
+//! * The binary heap orders small fixed-size [`HeapEntry`] keys
+//!   (`time, seq, slot` — 24 bytes); message payloads live in an
+//!   [`EventSlab`] indexed by `slot`, so heap sifts never move a model
+//!   update. Freed slots are recycled, so a steady-state simulation stops
+//!   allocating entirely.
+//! * Callback side effects accumulate in a reusable scratch buffer that is
+//!   drained in place (no per-event `Vec`).
+//! * [`Simulator::step_before`] pops an event only if it is due, replacing
+//!   the peek-then-pop pattern in deadline-bounded loops.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -19,7 +34,10 @@ use crate::traffic::TrafficLedger;
 /// A message that can travel through the simulator.
 ///
 /// The reported size drives transmission-time and traffic accounting; it
-/// should approximate the serialized wire size of the message.
+/// should approximate the serialized wire size of the message. Impls that
+/// fan one value out to many receivers should carry the bulky part in a
+/// [`crate::payload::Shared`] so that per-receiver clones are pointer
+/// bumps; sharing must never change `size_bytes`.
 pub trait Payload: Clone {
     /// Serialized size of this message in bytes.
     fn size_bytes(&self) -> usize;
@@ -165,27 +183,80 @@ enum EventKind<M> {
     Up,
 }
 
-struct Event<M> {
-    time: SimTime,
-    seq: u64,
+/// A pending event's payload, parked in the slab while its key sifts
+/// through the heap.
+struct PendingEvent<M> {
     node: NodeIdx,
     kind: EventKind<M>,
 }
 
-impl<M> PartialEq for Event<M> {
+/// The heap's ordering key: 24 bytes regardless of the message type, so
+/// sift operations move small fixed-size records instead of whole payloads.
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Event<M> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `slot` is storage, not identity: ordering is (time, seq) exactly
+        // as before the slab split, which the determinism contract pins.
         (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Free-list slab holding the payloads of queued events.
+///
+/// Slots freed by dispatched events are recycled before the backing vector
+/// grows, so a simulation whose in-flight event population has peaked stops
+/// allocating on the event path altogether.
+struct EventSlab<M> {
+    slots: Vec<Option<PendingEvent<M>>>,
+    free: Vec<u32>,
+}
+
+impl<M> EventSlab<M> {
+    fn with_capacity(cap: usize) -> Self {
+        EventSlab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, ev: PendingEvent<M>) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(ev);
+                slot
+            }
+            None => {
+                let slot =
+                    u32::try_from(self.slots.len()).expect("more than u32::MAX events in flight");
+                self.slots.push(Some(ev));
+                slot
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> PendingEvent<M> {
+        let ev = self.slots[slot as usize]
+            .take()
+            .expect("heap entry references an empty slot");
+        self.free.push(slot);
+        ev
     }
 }
 
@@ -199,6 +270,8 @@ pub struct ComputeLedger {
 }
 
 impl ComputeLedger {
+    // Sized to the topology up front (one slot per node, like the traffic
+    // ledger), so charging never reallocates.
     fn new(n: usize) -> Self {
         ComputeLedger {
             fl_us: vec![0; n],
@@ -219,7 +292,8 @@ pub struct Simulator<A: Application> {
     nodes: Vec<A>,
     alive: Vec<bool>,
     topology: Topology,
-    queue: BinaryHeap<Reverse<Event<A::Msg>>>,
+    queue: BinaryHeap<Reverse<HeapEntry>>,
+    slab: EventSlab<A::Msg>,
     now: SimTime,
     seq: u64,
     rng: StdRng,
@@ -236,25 +310,36 @@ impl<A: Application> Simulator<A> {
     pub fn new(topology: Topology, seed: u64, mut make_node: impl FnMut(NodeIdx) -> A) -> Self {
         let n = topology.len();
         let nodes: Vec<A> = (0..n).map(&mut make_node).collect();
-        let mut queue = BinaryHeap::with_capacity(n);
+        // The steady-state in-flight event population is a small multiple
+        // of the node count (heartbeats, timers, a few messages per node);
+        // reserving that up front avoids the early doubling cascade.
+        let event_cap = n.saturating_mul(4).max(64);
+        let mut queue = BinaryHeap::with_capacity(event_cap);
+        let mut slab = EventSlab::with_capacity(event_cap);
         for (seq, node) in (0..n).enumerate() {
-            queue.push(Reverse(Event {
-                time: SimTime::ZERO,
-                seq: seq as u64,
+            let slot = slab.insert(PendingEvent {
                 node,
                 kind: EventKind::Start,
+            });
+            queue.push(Reverse(HeapEntry {
+                time: SimTime::ZERO,
+                seq: seq as u64,
+                slot,
             }));
         }
         Simulator {
             alive: vec![true; n],
             nodes,
             queue,
+            slab,
             now: SimTime::ZERO,
             seq: n as u64,
             rng: sub_rng(seed, "simulator"),
             traffic: TrafficLedger::new(n),
             compute: ComputeLedger::new(n),
-            scratch: Vec::new(),
+            // One callback can address every peer (a server-style fan-out),
+            // but typical bursts are small; clamp the reservation.
+            scratch: Vec::with_capacity(n.clamp(16, 1_024)),
             topology,
             events_processed: 0,
             messages_dropped: 0,
@@ -316,6 +401,11 @@ impl<A: Application> Simulator<A> {
         self.events_processed
     }
 
+    /// Number of events currently queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Messages dropped by loss or dead destinations so far.
     pub fn messages_dropped(&self) -> u64 {
         self.messages_dropped
@@ -335,11 +425,18 @@ impl<A: Application> Simulator<A> {
     /// the entry point for experiment drivers (submit an FL application,
     /// start a broadcast, ...). Side effects issued through the context are
     /// applied exactly as for event-driven callbacks.
+    ///
+    /// Returns `None` — without running the callback — when node `i` is
+    /// down, mirroring every event-driven path: churn must silence a node
+    /// completely, driver-injected work included.
     pub fn with_app<R>(
         &mut self,
         i: NodeIdx,
         f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>) -> R,
-    ) -> R {
+    ) -> Option<R> {
+        if !self.alive[i] {
+            return None;
+        }
         debug_assert!(self.scratch.is_empty());
         let mut actions = std::mem::take(&mut self.scratch);
         let r = {
@@ -352,19 +449,62 @@ impl<A: Application> Simulator<A> {
             };
             f(&mut self.nodes[i], &mut ctx)
         };
+        self.apply_actions(i, &mut actions);
         self.scratch = actions;
-        self.apply_actions(i);
-        r
+        Some(r)
     }
 
     /// Processes the next event, returning its timestamp, or `None` if the
     /// queue is empty.
     pub fn step(&mut self) -> Option<SimTime> {
-        let Reverse(ev) = self.queue.pop()?;
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = ev.time;
+        let Reverse(entry) = self.queue.pop()?;
+        Some(self.dispatch(entry))
+    }
+
+    /// Processes the next event only if it is due at or before `deadline`,
+    /// returning its timestamp. A single heap operation decides and pops —
+    /// the deadline-bounded analogue of [`Simulator::step`].
+    pub fn step_before(&mut self, deadline: SimTime) -> Option<SimTime> {
+        let head = self.queue.peek()?;
+        if head.0.time > deadline {
+            return None;
+        }
+        let Reverse(entry) = self.queue.pop().expect("peeked entry vanished");
+        Some(self.dispatch(entry))
+    }
+
+    /// Runs until the queue drains or simulated time exceeds `deadline`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while self.step_before(deadline).is_some() {
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Runs for `dur` of simulated time from the current instant.
+    pub fn run_for(&mut self, dur: SimDuration) -> u64 {
+        let deadline = self.now + dur;
+        self.run_until(deadline)
+    }
+
+    /// Runs until the event queue is empty or `max_events` were processed.
+    /// Returns `true` if the queue drained.
+    pub fn run_until_quiet(&mut self, max_events: u64) -> bool {
+        for _ in 0..max_events {
+            if self.step().is_none() {
+                return true;
+            }
+        }
+        self.queue.is_empty()
+    }
+
+    fn dispatch(&mut self, entry: HeapEntry) -> SimTime {
+        let PendingEvent { node, kind } = self.slab.take(entry.slot);
+        debug_assert!(entry.time >= self.now, "time went backwards");
+        self.now = entry.time;
         self.events_processed += 1;
-        let node = ev.node;
         let mut notify_failure: Option<NodeIdx> = None;
         debug_assert!(self.scratch.is_empty());
         let mut actions = std::mem::take(&mut self.scratch);
@@ -376,7 +516,7 @@ impl<A: Application> Simulator<A> {
                 rng: &mut self.rng,
                 topology: &self.topology,
             };
-            match ev.kind {
+            match kind {
                 EventKind::Start => {
                     if self.alive[node] {
                         self.nodes[node].on_start(&mut ctx);
@@ -415,64 +555,35 @@ impl<A: Application> Simulator<A> {
                 }
             }
         }
+        self.apply_actions(node, &mut actions);
         self.scratch = actions;
-        self.apply_actions(node);
         if let Some(src) = notify_failure {
             // Bounce a connection-failure notification back to the sender
-            // (TCP-RST-like); it travels one network delay.
+            // (TCP-RST-like); it travels one network delay. This is a single
+            // direct push — it does not go through the action scratch.
             let delay = self.topology.sample_delay(node, src, 64, &mut self.rng);
             let at = self.now + delay;
             self.push_event(at, src, EventKind::SendFailed { peer: node });
         }
-        Some(self.now)
-    }
-
-    /// Runs until the queue drains or simulated time exceeds `deadline`.
-    /// Returns the number of events processed.
-    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
-        let mut processed = 0;
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time > deadline {
-                break;
-            }
-            self.step();
-            processed += 1;
-        }
-        processed
-    }
-
-    /// Runs for `dur` of simulated time from the current instant.
-    pub fn run_for(&mut self, dur: SimDuration) -> u64 {
-        let deadline = self.now + dur;
-        self.run_until(deadline)
-    }
-
-    /// Runs until the event queue is empty or `max_events` were processed.
-    /// Returns `true` if the queue drained.
-    pub fn run_until_quiet(&mut self, max_events: u64) -> bool {
-        for _ in 0..max_events {
-            if self.step().is_none() {
-                return true;
-            }
-        }
-        self.queue.is_empty()
+        self.now
     }
 
     fn push_event(&mut self, time: SimTime, node: NodeIdx, kind: EventKind<A::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event {
+        let slot = self.slab.insert(PendingEvent { node, kind });
+        self.queue.push(Reverse(HeapEntry {
             time: time.max(self.now),
             seq,
-            node,
-            kind,
+            slot,
         }));
     }
 
-    fn apply_actions(&mut self, src: NodeIdx) {
-        // Drain into a local vec to keep borrowck simple; scratch is reused.
-        let actions: Vec<Action<A::Msg>> = self.scratch.drain(..).collect();
-        for action in actions {
+    /// Applies one callback's buffered side effects, draining the buffer in
+    /// place. The buffer is the caller's loan of `self.scratch`, so the hot
+    /// path performs no allocation: capacity survives across events.
+    fn apply_actions(&mut self, src: NodeIdx, actions: &mut Vec<Action<A::Msg>>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg, extra } => {
                     let size = msg.size_bytes();
@@ -623,14 +734,58 @@ mod tests {
     }
 
     #[test]
+    fn step_before_pops_only_due_events() {
+        let mut sim = ring_sim(3, 100, 8);
+        // The first three events are the time-zero Starts; a near deadline
+        // still pops them because they are due.
+        for _ in 0..3 {
+            assert_eq!(
+                sim.step_before(SimTime::from_micros(1)),
+                Some(SimTime::ZERO)
+            );
+        }
+        // Ring hops take >= 1ms, so a 1us deadline refuses the next event
+        // and leaves it queued.
+        let pending = sim.pending_events();
+        assert_eq!(sim.step_before(SimTime::from_micros(1)), None);
+        assert_eq!(sim.pending_events(), pending);
+        // The same event dispatches under a generous deadline.
+        assert!(sim.step_before(SimTime::from_micros(60_000_000)).is_some());
+    }
+
+    #[test]
     fn with_app_injects_work() {
         let mut sim = ring_sim(4, 5, 9);
         sim.run_until_quiet(10_000);
         let before = sim.traffic().total_msgs();
-        sim.with_app(2, |_node, ctx| ctx.send(3, Token(100)));
+        let ran = sim.with_app(2, |_node, ctx| ctx.send(3, Token(100)));
+        assert!(ran.is_some());
         sim.run_until_quiet(10_000);
         assert_eq!(sim.traffic().total_msgs(), before + 1);
         assert!(sim.app(3).seen.contains(&100));
+    }
+
+    #[test]
+    fn with_app_skips_downed_nodes() {
+        let mut sim = ring_sim(4, 1, 11);
+        sim.schedule_down(2, SimTime::from_micros(5));
+        sim.run_until_quiet(10_000);
+        assert!(!sim.alive(2));
+        let before = sim.traffic().total_msgs();
+        // The callback must not run at all on a churn-downed node: no
+        // return value, no side effects, no RNG consumption.
+        let ran = sim.with_app(2, |_node, ctx| {
+            ctx.send(3, Token(200));
+            42
+        });
+        assert_eq!(ran, None);
+        sim.run_until_quiet(10_000);
+        assert_eq!(sim.traffic().total_msgs(), before);
+        assert!(!sim.app(3).seen.contains(&200));
+        // After revival the same injection works again.
+        sim.schedule_up(2, sim.now() + SimDuration::from_micros(1));
+        sim.run_until_quiet(10_000);
+        assert_eq!(sim.with_app(2, |_node, _ctx| 42), Some(42));
     }
 
     #[test]
@@ -661,11 +816,12 @@ mod tests {
     #[test]
     fn compute_charges_accumulate() {
         let mut sim = ring_sim(2, 1, 6);
-        sim.with_app(0, |_n, ctx| {
+        let ran = sim.with_app(0, |_n, ctx| {
             ctx.charge_compute(ComputeKind::FlTask, SimDuration::from_millis(3));
             ctx.charge_compute(ComputeKind::DhtTask, SimDuration::from_millis(1));
             ctx.charge_compute(ComputeKind::FlTask, SimDuration::from_millis(2));
         });
+        assert!(ran.is_some());
         assert_eq!(sim.compute().fl_us[0], 5_000);
         assert_eq!(sim.compute().dht_us[0], 1_000);
     }
@@ -699,5 +855,19 @@ mod tests {
         });
         sim.run_until_quiet(100);
         assert_eq!(sim.app(0).fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        // A long-lived ring keeps exactly one message in flight; the slab
+        // must not grow with the number of events processed.
+        let mut sim = ring_sim(3, 500, 12);
+        sim.run_until_quiet(10_000);
+        assert!(sim.events_processed() > 500);
+        assert!(
+            sim.slab.slots.len() <= 64,
+            "slab grew to {} slots for a 1-message workload",
+            sim.slab.slots.len()
+        );
     }
 }

@@ -319,6 +319,49 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_uniform_and_zero_jitter_consume_no_rng() {
+        // `Topology::uniform` defaults to jitter 0; with min == max the
+        // range draw is skipped too, so sampling must leave the RNG stream
+        // untouched. Scenario determinism depends on these fast paths never
+        // starting to draw.
+        let t = Topology::uniform(2, 700, 700);
+        let mut rng = sub_rng(21, "pin");
+        let mut untouched = rng.clone();
+        for size in [0, 64, 1_000_000] {
+            t.sample_delay(0, 1, size, &mut rng);
+        }
+        assert_eq!(rng.gen::<u64>(), untouched.gen::<u64>());
+    }
+
+    #[test]
+    fn geo_zero_jitter_consumes_no_rng() {
+        let t = geo_topology(10).with_jitter(0.0);
+        let mut rng = sub_rng(22, "pin-geo");
+        let mut untouched = rng.clone();
+        t.sample_delay(0, 5, 1_024, &mut rng);
+        t.sample_delay(5, 9, 64, &mut rng);
+        assert_eq!(rng.gen::<u64>(), untouched.gen::<u64>());
+    }
+
+    #[test]
+    fn jitter_consumes_exactly_one_draw_per_sample() {
+        // Geo scenarios run with jitter 0.2: each sample must consume
+        // exactly one `f64` (the jitter factor) — no more, no fewer — or
+        // every downstream draw in a trial would shift.
+        let t = geo_topology(10); // jitter defaults to 0.2
+        let mut rng = sub_rng(23, "pin-jitter");
+        let mut shadow = rng.clone();
+        let d = t.sample_delay(2, 7, 0, &mut rng);
+        let factor = 1.0 + shadow.gen::<f64>() * 0.2;
+        // Reconstruct the sample from the shadow stream (size 0 => no tx
+        // term), using the same unrounded propagation expression.
+        let prop = 500.0 + t.point(2).distance_km(&t.point(7)) * 5.0;
+        assert_eq!(d.as_micros(), (prop * factor).round() as u64);
+        // And the streams are in lockstep afterwards.
+        assert_eq!(rng.gen::<u64>(), shadow.gen::<u64>());
+    }
+
+    #[test]
     fn bottleneck_bandwidth_is_min_of_endpoints() {
         let mut t = Topology::uniform(2, 0, 0);
         t.set_profile(

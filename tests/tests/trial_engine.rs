@@ -32,11 +32,12 @@ fn tiny_fig11() -> (Box<dyn Scenario>, Params) {
 #[test]
 fn registry_names_are_unique_and_resolvable() {
     let all = scenarios::all();
-    assert_eq!(all.len(), 11, "all eleven evaluation artifacts registered");
+    // Eleven evaluation artifacts plus the `simcore` perf baseline.
+    assert_eq!(all.len(), 12, "all registered scenarios present");
     let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
     names.sort_unstable();
     names.dedup();
-    assert_eq!(names.len(), 11, "scenario names are unique");
+    assert_eq!(names.len(), 12, "scenario names are unique");
     for name in names {
         assert!(scenarios::find(name).is_some(), "find({name}) resolves");
     }
