@@ -208,3 +208,92 @@ fn dead_client_does_not_stall_the_server() {
         "not all rounds completed"
     );
 }
+
+#[test]
+fn client_churned_out_at_submission_never_contributes() {
+    // Chaos-harness regression: a client that is down when the app is
+    // submitted never receives its shard or spec (churn silences a node
+    // completely, driver work included). Once revived it keeps receiving
+    // Downloads for in-flight rounds; it must ignore them rather than
+    // upload a bogus update from nothing, and training must complete.
+    let n = 9;
+    let mut rng = sub_rng(10, "gen");
+    let generator = TaskGenerator::new(text_classification_like(), &mut rng);
+    let mut engine = CentralizedEngine::new(
+        Topology::uniform(n, 1_000, 5_000),
+        ServerProfile::fedscale_like(),
+        7,
+    );
+    engine.sim_mut().schedule_down(3, SimTime::from_micros(500));
+    engine.sim_mut().run_until(SimTime::from_micros(10_000));
+    let participants: Vec<usize> = (1..n).collect();
+    let shards = generator.client_shards(participants.len(), 40, 0.5, &mut rng);
+    let spec = mk_spec("absent", &generator, 2.0, 5, 17);
+    let app = engine.submit_app(spec, &participants, shards);
+    // Revive mid-training: round 1 is still stalled on the watchdog.
+    engine
+        .sim_mut()
+        .schedule_up(3, SimTime::from_micros(60 * 1_000_000));
+    let finished = engine.run(SimTime::from_micros(7_200 * 1_000_000));
+    assert!(finished, "server stalled on the uninstalled client");
+    assert_eq!(
+        engine.server().curve(app).last().map(|p| p.round),
+        Some(5),
+        "not all rounds completed"
+    );
+    // The revived client ignored every Download: it never sent a byte.
+    assert_eq!(
+        engine.sim().traffic().node(3).payload_sent,
+        0,
+        "the shard-less client uploaded something"
+    );
+}
+
+#[test]
+fn client_downed_mid_round_rejoins_later_rounds() {
+    // Chaos-harness regression: churn a client out in the middle of
+    // training. Downloads sent while it is down bounce, the watchdog
+    // finalizes the affected rounds without it (no partial or duplicate
+    // finalization), and after revival it participates again.
+    let n = 9;
+    let mut rng = sub_rng(11, "gen");
+    let generator = TaskGenerator::new(text_classification_like(), &mut rng);
+    let mut engine = CentralizedEngine::new(
+        Topology::uniform(n, 1_000, 5_000),
+        ServerProfile::fedscale_like(),
+        8,
+    );
+    let participants: Vec<usize> = (1..n).collect();
+    let shards = generator.client_shards(participants.len(), 40, 0.5, &mut rng);
+    let spec = mk_spec("blinker", &generator, 2.0, 8, 19);
+    let app = engine.submit_app(spec, &participants, shards);
+    // Healthy rounds take ~0.46 s; down at 1 s lands mid-training, and the
+    // revival at 200 s lands between two watchdog-finalized rounds.
+    engine
+        .sim_mut()
+        .schedule_down(5, SimTime::from_micros(1_000_000));
+    engine
+        .sim_mut()
+        .schedule_up(5, SimTime::from_micros(200 * 1_000_000));
+    let finished = engine.run(SimTime::from_micros(7_200 * 1_000_000));
+    assert!(finished, "server stalled on the churned client");
+
+    let curve = engine.server().curve(app);
+    assert_eq!(curve.last().map(|p| p.round), Some(8));
+    // Exactly one finalization per round: the dead client neither stalled
+    // a round forever nor let one finalize twice.
+    assert_eq!(curve.len(), 8, "round finalized twice or skipped");
+    assert!(curve.windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
+    // The churn window really overlapped training (watchdog rounds), and
+    // post-revival rounds are fast again — the client is contributing, so
+    // the server no longer waits out the 120 s watchdog.
+    let last_gap = curve[7].time_secs - curve[6].time_secs;
+    assert!(
+        curve.last().unwrap().time_secs > 200.0,
+        "training ended before the churn window"
+    );
+    assert!(
+        last_gap < 10.0,
+        "revived client still absent: final round took {last_gap:.1}s"
+    );
+}

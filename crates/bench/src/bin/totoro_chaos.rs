@@ -1,0 +1,237 @@
+//! `totoro-chaos`: the seed-sweep fault-plan explorer.
+//!
+//! Runs N seeds × M canned fault plans through the parallel trial engine
+//! with live protocol-invariant oracles, reports violations as replayable
+//! `(plan, seed)` pairs (greedily shrunk to a minimal fault set), and exits
+//! non-zero if any invariant fired.
+//!
+//! ```text
+//! totoro-chaos --seeds 64 --plan loss-spike partition churn+stragglers --jobs 8
+//! totoro-chaos --replay churn+stragglers:49 --inject-bug drop-repair-join
+//! ```
+//!
+//! `--plan` accepts one or more names (so shell brace expansion like
+//! `--plan {loss-spike,partition}` works) or a single comma-separated list.
+//! Output is byte-identical across `--jobs` settings.
+
+use std::process::ExitCode;
+
+use totoro_bench::chaos::{run_chaos_trial, shrink, BugKind, ChaosScenario, ChaosSpec, PLAN_NAMES};
+use totoro_bench::scenario::{run_trials, Params, Scenario, Trial};
+
+struct Cli {
+    nodes: usize,
+    trees: usize,
+    seeds: usize,
+    seed: u64,
+    jobs: usize,
+    plans: Vec<String>,
+    bug: Option<String>,
+    report_path: Option<String>,
+    replay: Option<(String, u64)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: totoro-chaos [--seeds N] [--plan NAME... | NAME,NAME] [--nodes N] [--trees N]\n\
+         \x20                   [--seed S] [--jobs J] [--inject-bug NAME] [--report PATH]\n\
+         \x20                   [--replay PLAN:SEED]\n\
+         plans: {}",
+        PLAN_NAMES.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        nodes: 200,
+        trees: 3,
+        seeds: 16,
+        seed: 42,
+        jobs: 1,
+        plans: Vec::new(),
+        bug: None,
+        report_path: None,
+        replay: None,
+    };
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("flag {flag} expects a value");
+                    usage();
+                }
+            }
+        };
+        match arg.as_str() {
+            "--nodes" => cli.nodes = parse_num(&value("--nodes"), "--nodes"),
+            "--trees" => cli.trees = parse_num(&value("--trees"), "--trees"),
+            "--seeds" => cli.seeds = parse_num(&value("--seeds"), "--seeds"),
+            "--seed" => cli.seed = parse_num(&value("--seed"), "--seed") as u64,
+            "--jobs" => cli.jobs = parse_num(&value("--jobs"), "--jobs").max(1),
+            "--inject-bug" => cli.bug = Some(value("--inject-bug")),
+            "--report" => cli.report_path = Some(value("--report")),
+            "--replay" => {
+                let spec = value("--replay");
+                let Some((plan, seed)) = spec.rsplit_once(':') else {
+                    eprintln!("--replay expects PLAN:SEED, got {spec:?}");
+                    usage();
+                };
+                let Ok(seed) = seed.parse::<u64>() else {
+                    eprintln!("--replay seed must be an integer, got {seed:?}");
+                    usage();
+                };
+                cli.replay = Some((plan.to_string(), seed));
+            }
+            "--plan" | "--plans" => {
+                // Consume every following non-flag token: brace expansion
+                // hands us `--plan a b c`, a quoted list hands us `a,b,c`.
+                while let Some(next) = it.peek() {
+                    if next.starts_with("--") {
+                        break;
+                    }
+                    let token = it.next().expect("peeked");
+                    for name in token.split(',') {
+                        let name = name.trim().trim_matches(|c| c == '{' || c == '}');
+                        if !name.is_empty() {
+                            cli.plans.push(name.to_string());
+                        }
+                    }
+                }
+                if cli.plans.is_empty() {
+                    eprintln!("--plan expects at least one plan name");
+                    usage();
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if cli.plans.is_empty() {
+        cli.plans = PLAN_NAMES.iter().map(|s| s.to_string()).collect();
+    }
+    for p in &cli.plans {
+        if !PLAN_NAMES.contains(&p.as_str()) {
+            eprintln!("unknown plan {p:?} (use {})", PLAN_NAMES.join(", "));
+            usage();
+        }
+    }
+    if let Some(bug) = &cli.bug {
+        if BugKind::parse(bug).is_none() {
+            eprintln!("unknown bug {bug:?} (use drop-repair-join)");
+            usage();
+        }
+    }
+    cli
+}
+
+fn parse_num(v: &str, flag: &str) -> usize {
+    match v.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("{flag} expects an integer, got {v:?}");
+            usage();
+        }
+    }
+}
+
+/// Re-runs a single `(plan, seed)` pair verbosely, shrinking on failure.
+fn replay(cli: &Cli, plan: &str, seed: u64) -> ExitCode {
+    let spec = ChaosSpec {
+        nodes: cli.nodes,
+        trees: cli.trees,
+        plan: plan.to_string(),
+        seed,
+        bug: cli.bug.as_deref().and_then(BugKind::parse),
+    };
+    println!(
+        "replaying plan={plan} seed={seed} nodes={} trees={}{}",
+        spec.nodes,
+        spec.trees,
+        spec.bug
+            .map(|b| format!(" bug={}", b.name()))
+            .unwrap_or_default()
+    );
+    let outcome = run_chaos_trial(&spec, None);
+    println!("plan atoms:");
+    for atom in &outcome.atoms {
+        println!("  - {atom}");
+    }
+    println!(
+        "rounds={} events={} chaos: dropped={} duplicated={} delayed={}",
+        outcome.rounds,
+        outcome.sim.events,
+        outcome.chaos.dropped,
+        outcome.chaos.duplicated,
+        outcome.chaos.delayed
+    );
+    if outcome.violations.is_empty() {
+        println!("no invariant violations");
+        return ExitCode::SUCCESS;
+    }
+    for v in &outcome.violations {
+        println!(
+            "VIOLATION: {} @ {:.1}s: {}",
+            v.invariant,
+            v.at.as_micros() as f64 / 1e6,
+            v.detail
+        );
+    }
+    let shrunk = shrink(&spec);
+    println!(
+        "shrunk to {} atom(s) in {} runs:",
+        shrunk.atoms.len(),
+        shrunk.runs
+    );
+    for atom in &shrunk.atoms {
+        println!("  - {atom}");
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args);
+    if let Some((plan, seed)) = cli.replay.clone() {
+        return replay(&cli, &plan, seed);
+    }
+
+    let mut params = Params {
+        nodes: cli.nodes,
+        seed: cli.seed,
+        jobs: cli.jobs,
+        json: false,
+        extra: vec![
+            ("seeds".to_string(), cli.seeds.to_string()),
+            ("trees".to_string(), cli.trees.to_string()),
+            ("plans".to_string(), cli.plans.join(",")),
+        ],
+    };
+    if let Some(bug) = &cli.bug {
+        params.extra.push(("inject-bug".to_string(), bug.clone()));
+    }
+
+    let scenario = ChaosScenario;
+    let trials = Trial::seal(scenario.trials(&params));
+    let reports = run_trials(&scenario, &trials, params.jobs);
+    let text = scenario.render(&params, &reports);
+    print!("{text}");
+
+    let violations: u64 = reports.iter().map(|r| r.metric("violations") as u64).sum();
+    if let Some(path) = &cli.report_path {
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("failed to write report {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

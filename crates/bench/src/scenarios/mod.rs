@@ -34,6 +34,7 @@ pub fn all() -> Vec<Box<dyn Scenario>> {
         Box::new(fig13::Fig13),
         Box::new(ablation::Ablation),
         Box::new(simcore::Simcore),
+        Box::new(crate::chaos::ChaosScenario),
     ]
 }
 

@@ -234,6 +234,15 @@ pub trait UpperLayer: Sized {
         let _ = api;
     }
 
+    /// Invoked when the node revives after an outage. Timers that fired
+    /// while the node was down were silently discarded, so any upper-layer
+    /// self-perpetuating timer chain (e.g. the forest maintenance tick) is
+    /// dead and must be re-armed here — otherwise the revived node keeps
+    /// its layered state but never again runs maintenance on it.
+    fn on_up(&mut self, api: &mut DhtApi<'_, '_, Self::P>) {
+        let _ = api;
+    }
+
     /// A routed payload reached the node numerically closest to `key`.
     fn on_deliver(
         &mut self,
@@ -763,6 +772,14 @@ impl<U: UpperLayer> totoro_simnet::Application for DhtNode<U> {
         for addr in peers {
             ctx.send(addr, DhtMsg::Announce { contact: me });
         }
+        let mut api = Self::api(
+            &mut self.state,
+            &mut self.stats,
+            &mut self.pending_local,
+            ctx,
+        );
+        self.upper.on_up(&mut api);
+        self.drain_local(ctx);
     }
 
     fn memory_bytes(&self) -> usize {

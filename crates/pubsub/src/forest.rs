@@ -45,6 +45,17 @@ pub struct ForestConfig {
     /// route even though the parent is not yet declared dead. `None`
     /// disables replanning (repair then relies on hard timeouts alone).
     pub replan_cost_threshold: Option<f64>,
+    /// Depth ceiling used to detect parent cycles. A repair JOIN can be
+    /// intercepted and adopted by a node inside the joiner's own subtree,
+    /// closing a heartbeat-sustained loop that is invisible locally — but
+    /// every member of such a loop sees its depth grow by one per tick as
+    /// `parent depth + 1` chases itself around the cycle. A node whose
+    /// depth reaches this bound (while still below the `u16::MAX`
+    /// "unknown" sentinel) therefore concludes it is trapped, leaves its
+    /// parent, and re-joins through the rendezvous. `0` disables the
+    /// check. Legitimate trees stay orders of magnitude shallower, so the
+    /// default never fires outside an actual cycle.
+    pub max_depth: u16,
 }
 
 impl Default for ForestConfig {
@@ -58,6 +69,7 @@ impl Default for ForestConfig {
             record_events: true,
             zone_restricted: false,
             replan_cost_threshold: Some(2.0),
+            max_depth: 64,
         }
     }
 }
@@ -108,6 +120,9 @@ pub struct ForestStats {
     /// Proactive bandit-driven path replans (flaky parent avoided before a
     /// hard failure was declared).
     pub replans: u64,
+    /// Parent cycles broken by the depth-ceiling detector (a node saw its
+    /// depth inflate past [`ForestConfig::max_depth`] and re-joined).
+    pub cycle_breaks: u64,
 }
 
 /// Mutable forest-wide state of one node.
@@ -450,6 +465,10 @@ pub struct Forest<F: ForestApp> {
     pub app: F,
     config: ForestConfig,
     started: bool,
+    /// When the maintenance tick last ran; lets `on_up` tell a still-armed
+    /// tick chain (short outage) from one whose timer was swallowed while
+    /// the node was down and must be re-armed.
+    last_tick: SimTime,
 }
 
 impl<F: ForestApp> Forest<F> {
@@ -460,6 +479,7 @@ impl<F: ForestApp> Forest<F> {
             app,
             config,
             started: false,
+            last_tick: SimTime::ZERO,
         }
     }
 
@@ -493,19 +513,28 @@ impl<F: ForestApp> Forest<F> {
 
     /// Adopts `child` into `topic`'s tree, honoring the fanout cap by
     /// pushing excess joins down to an existing child.
+    /// Returns `false` when the joiner was refused (adopting it would close
+    /// an immediate parent cycle); callers on the routing path then keep
+    /// forwarding the JOIN toward the rendezvous instead of ending it here.
     fn adopt_child(
         &mut self,
         dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>,
         topic: Id,
         child: Contact,
-    ) {
+    ) -> bool {
         if child.addr == dht.addr() {
-            return;
+            return true;
         }
         let now = dht.now();
         let cap = self.config.fanout_cap;
         let me = me_contact(dht);
         let m = self.state.tree_mut(topic, now);
+        if m.parent.map(|p| p.addr) == Some(child.addr) {
+            // Never adopt our own parent: that would turn the tree edge
+            // into a two-node loop the instant the JoinAck lands. The
+            // joiner's JOIN keeps routing toward the rendezvous instead.
+            return false;
+        }
         if m.children.iter().any(|c| c.addr == child.addr) {
             // Re-ack an existing child (join retry).
             let depth = if m.is_root { 0 } else { m.depth };
@@ -517,7 +546,7 @@ impl<F: ForestApp> Forest<F> {
                     depth,
                 },
             );
-            return;
+            return true;
         }
         if cap > 0 && m.children.len() >= cap {
             // Push-down: delegate to the child whose id is closest to the
@@ -530,7 +559,7 @@ impl<F: ForestApp> Forest<F> {
                 .expect("cap > 0 implies children exist");
             self.state.stats.pushdowns += 1;
             dht.send_direct(target.addr, TreeMsg::Join { topic, child });
-            return;
+            return true;
         }
         m.add_child(child);
         let depth = if m.is_root { 0 } else { m.depth };
@@ -543,6 +572,7 @@ impl<F: ForestApp> Forest<F> {
                 depth,
             },
         );
+        true
     }
 
     /// Starts (or retries) this node's own attachment to `topic`.
@@ -871,6 +901,7 @@ impl<F: ForestApp> Forest<F> {
 
     fn forest_tick(&mut self, dht: &mut DhtApi<'_, '_, TreeMsg<F::Data>>) {
         let now = dht.now();
+        self.last_tick = now;
         let tick = self.config.tick;
         let parent_timeout = tick.saturating_mul(u64::from(self.config.parent_timeout_ticks));
         let join_retry = tick.saturating_mul(u64::from(self.config.join_retry_ticks));
@@ -881,9 +912,11 @@ impl<F: ForestApp> Forest<F> {
         // per-tick key collection matters. The repair/replan/rejoin lists
         // are almost always empty and allocate nothing then.
         let n_topics = self.state.trees.len() as u64;
+        let max_depth = self.config.max_depth;
         let mut to_repair = Vec::new();
         let mut to_replan = Vec::new();
         let mut to_rejoin = Vec::new();
+        let mut to_break = Vec::new();
         for (&topic, m) in self.state.trees.iter_mut() {
             // Keep-alive toward children.
             let depth = if m.is_root { 0 } else { m.depth };
@@ -922,6 +955,18 @@ impl<F: ForestApp> Forest<F> {
             if m.joining && !m.attached() && now.saturating_since(m.join_sent) > join_retry {
                 to_rejoin.push(topic);
             }
+            // Parent-cycle detection: inside a loop, `parent depth + 1`
+            // chases itself around the ring, so depth inflates by one per
+            // tick without bound. `u16::MAX` is exempt — that is the
+            // legitimate "unknown" sentinel a detached ancestor propagates.
+            if max_depth > 0
+                && !m.is_root
+                && m.parent.is_some()
+                && m.depth >= max_depth
+                && m.depth < u16::MAX
+            {
+                to_break.push(topic);
+            }
         }
         for topic in to_repair {
             self.begin_repair(dht, topic);
@@ -947,6 +992,26 @@ impl<F: ForestApp> Forest<F> {
         }
         for topic in to_rejoin {
             self.send_own_join(dht, topic);
+        }
+        for topic in to_break {
+            // Break the loop edge: leave the (live) parent explicitly so it
+            // drops us from its children table and stops heartbeating the
+            // cycle back into existence, then re-join via the rendezvous.
+            let me_addr = dht.addr();
+            let m = self.state.tree_mut(topic, now);
+            if let Some(p) = m.parent {
+                dht.send_direct(
+                    p.addr,
+                    TreeMsg::Leave {
+                        topic,
+                        child: me_addr,
+                    },
+                );
+            }
+            m.depth = u16::MAX;
+            m.parent_link = totoro_bandit::LinkStats::default();
+            self.state.stats.cycle_breaks += 1;
+            self.begin_repair(dht, topic);
         }
         dht.charge_compute(
             ComputeKind::DhtTask,
@@ -1020,11 +1085,14 @@ impl<F: ForestApp> UpperLayer for Forest<F> {
         let topic = key;
         let child = *child;
         let now = api.now();
-        self.adopt_child(api, topic, child);
+        let adopted = self.adopt_child(api, topic, child);
         let m = self.state.tree_mut(topic, now);
         if m.attached() || m.joining {
-            // Already part of the tree: the JOIN path ends here (§4.3).
-            false
+            // Already part of the tree: the JOIN path ends here (§4.3) —
+            // unless the joiner was refused because it is our own parent,
+            // in which case its JOIN keeps routing toward the rendezvous
+            // so it can reattach above us rather than below.
+            !adopted
         } else {
             // Become a forwarder: splice ourselves into the path and keep
             // routing our own JOIN toward the rendezvous.
@@ -1152,6 +1220,17 @@ impl<F: ForestApp> UpperLayer for Forest<F> {
             if let Some((topic, round)) = self.state.round_timers.remove(&round_token) {
                 self.flush_round(api, topic, round, true);
             }
+        }
+    }
+
+    fn on_up(&mut self, api: &mut DhtApi<'_, '_, Self::P>) {
+        // A live tick chain fires exactly every `tick`; anything staler
+        // means the pending timer was swallowed during the outage and the
+        // chain is dead. Only then re-arm (re-arming a live chain would
+        // double every heartbeat from here on).
+        if self.started && api.now().saturating_since(self.last_tick) > self.config.tick {
+            self.last_tick = api.now();
+            api.set_timer(self.config.tick, 0);
         }
     }
 

@@ -112,6 +112,31 @@ fn find_root(sim: &Simulator<Node>, topic: Id) -> Option<usize> {
     })
 }
 
+/// All nodes in `node`'s subtree (inclusive), via the children tables.
+fn subtree_of(sim: &Simulator<Node>, topic: Id, node: usize) -> Vec<usize> {
+    let mut out = vec![node];
+    let mut i = 0;
+    while i < out.len() {
+        let cur = out[i];
+        i += 1;
+        if let Some(m) = sim.app(cur).upper.state.membership(topic) {
+            out.extend(m.children.iter().map(|c| c.addr));
+        }
+    }
+    out
+}
+
+fn broadcast_from(sim: &mut Simulator<Node>, root: usize, topic: Id, round: u64) {
+    sim.with_app(root, |node, ctx| {
+        node.with_api(ctx, |forest, dht| {
+            forest.with_forest_api(dht, |_app, api| {
+                api.broadcast(topic, round, Sum { value: 0.0 });
+            });
+        });
+    })
+    .expect("the broadcasting root is up");
+}
+
 #[test]
 fn join_paths_union_into_a_single_tree() {
     let mut sim = build(64, 1, ForestConfig::default());
@@ -582,4 +607,173 @@ fn record_events_off_keeps_logs_empty() {
         assert!(sim.app(i).upper.state.broadcast_log.is_empty());
         assert!(sim.app(i).upper.state.agg_log.is_empty());
     }
+}
+
+#[test]
+fn node_downed_mid_aggregation_contributes_no_partial_sum() {
+    // Chaos-harness regression: an interior node churned down in the middle
+    // of a round must not leak its half-built partial aggregate into the
+    // completed round — its whole subtree's contribution is simply missing.
+    // After revival it must reattach and count exactly once in later rounds.
+    let n = 40;
+    let fconfig = ForestConfig {
+        fanout_cap: 4, // Deep tree: interior nodes with real subtrees.
+        agg_timeout: SimDuration::from_secs(5),
+        ..ForestConfig::default()
+    };
+    let mut sim = build(n, 23, fconfig);
+    let topic = app_id("mid-agg", "nora", 11);
+    subscribe_all(&mut sim, topic, &(0..n).collect::<Vec<_>>());
+    run_secs(&mut sim, 20);
+    let root = find_root(&sim, topic).unwrap();
+    let victim = (0..n)
+        .find(|&i| {
+            i != root
+                && sim
+                    .app(i)
+                    .upper
+                    .state
+                    .membership(topic)
+                    .is_some_and(|m| !m.is_root && m.parent.is_some() && !m.children.is_empty())
+        })
+        .expect("an interior non-root node exists");
+    let subtree = subtree_of(&sim, topic, victim);
+    assert!(subtree.len() >= 2, "victim has no subtree");
+    let total: f64 = (0..n).map(|i| i as f64 + 1.0).sum();
+    let subtree_sum: f64 = subtree.iter().map(|&i| i as f64 + 1.0).sum();
+
+    broadcast_from(&mut sim, root, topic, 1);
+    // 30 ms after the broadcast every subscriber is still inside its 50 ms
+    // training window: the victim's round is open and nothing has flushed.
+    sim.schedule_down(victim, SimTime::from_micros(20_030_000));
+    sim.schedule_up(victim, SimTime::from_micros(40_000_000));
+    run_secs(&mut sim, 35);
+
+    let aggs = sim.app(root).upper.app.aggregated.clone();
+    let &(t, r, value, count) = aggs.first().expect("round 1 never completed");
+    assert_eq!((t, r), (topic, 1));
+    assert!(
+        (count as usize) <= n - subtree.len(),
+        "count {count} includes the dead subtree ({} nodes)",
+        subtree.len()
+    );
+    assert!(
+        value <= total - subtree_sum + 1e-9,
+        "partial aggregate leaked: got {value}, ceiling {}",
+        total - subtree_sum
+    );
+
+    // The revived node re-arms its maintenance, notices the stale parent,
+    // and reattaches bidirectionally to a live parent.
+    run_secs(&mut sim, 60);
+    let m = sim
+        .app(victim)
+        .upper
+        .state
+        .membership(topic)
+        .expect("membership survives churn");
+    assert!(m.attached(), "revived node never reattached");
+    let parent = m.parent.expect("attached non-root has a parent").addr;
+    assert!(sim.alive(parent), "reattached to a dead parent");
+    assert!(
+        sim.app(parent)
+            .upper
+            .state
+            .membership(topic)
+            .is_some_and(|pm| pm.children.iter().any(|c| c.addr == victim)),
+        "parent {parent} does not list the revived node"
+    );
+
+    // A post-revival round is conserved: nobody counts twice.
+    broadcast_from(&mut sim, root, topic, 2);
+    run_secs(&mut sim, 80);
+    assert!(
+        sim.app(victim).upper.app.models_seen.contains(&(topic, 2)),
+        "revived node missed the post-revival broadcast"
+    );
+    let aggs = &sim.app(root).upper.app.aggregated;
+    let &(_, _, value2, count2) = aggs
+        .iter()
+        .find(|&&(t, r, _, _)| (t, r) == (topic, 2))
+        .expect("round 2 never completed");
+    assert!(count2 as usize <= n, "round 2 counted {count2} > {n} nodes");
+    assert!(
+        value2 <= total + 1e-9,
+        "round 2 over-aggregated: {value2} > {total}"
+    );
+}
+
+#[test]
+fn node_downed_mid_join_retries_after_revival() {
+    // Chaos-harness regression (the exact failure `totoro-chaos --plan
+    // churn+stragglers` first surfaced): timers that fire while a node is
+    // down are swallowed, so a node churned out while still JOINING
+    // revives with `joining = true`, no parent — and, before
+    // `UpperLayer::on_up` re-armed the tick chain, no timer left to drive
+    // join retries. No DHT failure notification can rescue a node that
+    // has no parent to declare dead; it stayed detached forever.
+    let n = 60;
+    let fconfig = ForestConfig {
+        fanout_cap: 4,
+        ..ForestConfig::default()
+    };
+    let mut sim = build(n, 24, fconfig);
+    let topic = app_id("zombie", "omar", 12);
+    subscribe_all(&mut sim, topic, &(0..n).collect::<Vec<_>>());
+    run_secs(&mut sim, 20);
+    let root = find_root(&sim, topic).unwrap();
+    let (leaf, parent) = (0..n)
+        .find_map(|i| {
+            let m = sim.app(i).upper.state.membership(topic)?;
+            if i == root || !m.children.is_empty() {
+                return None;
+            }
+            let p = m.parent?.addr;
+            (p != root).then_some((i, p))
+        })
+        .expect("a leaf with a non-root parent exists");
+
+    // Kill the parent, and hold the orphan in its joining state by eating
+    // every message it sends (its repair JOINs included) until churn takes
+    // it down too.
+    sim.schedule_down(parent, SimTime::from_micros(21_000_000));
+    sim.set_fault_filter(Box::new(move |now, src, _dst, _msg| {
+        src == leaf
+            && now >= SimTime::from_micros(22_000_000)
+            && now < SimTime::from_micros(27_000_000)
+    }));
+    sim.schedule_down(leaf, SimTime::from_micros(27_000_000));
+    sim.schedule_up(leaf, SimTime::from_micros(34_000_000));
+
+    // Sanity: the leaf really was mid-join when it went down.
+    sim.run_until(SimTime::from_micros(26_900_000));
+    let m = sim.app(leaf).upper.state.membership(topic).unwrap();
+    assert!(
+        m.joining && m.parent.is_none(),
+        "setup failed: leaf was not held in the joining state"
+    );
+
+    run_secs(&mut sim, 80);
+    let m = sim
+        .app(leaf)
+        .upper
+        .state
+        .membership(topic)
+        .expect("membership survives churn");
+    assert!(m.attached(), "revived leaf is a maintenance zombie");
+    let new_parent = m.parent.expect("attached non-root has a parent").addr;
+    assert_ne!(new_parent, parent, "reattached to the dead parent");
+    assert!(sim.alive(new_parent));
+    assert!(
+        sim.app(new_parent)
+            .upper
+            .state
+            .membership(topic)
+            .is_some_and(|pm| pm.children.iter().any(|c| c.addr == leaf)),
+        "new parent does not list the revived leaf"
+    );
+    assert!(
+        sim.app(leaf).upper.state.stats.joins_sent >= 3,
+        "the leaf never retried its join after revival"
+    );
 }

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod binning;
+pub mod chaos;
 pub mod churn;
 pub mod geo;
 pub mod payload;
@@ -30,7 +31,11 @@ pub mod traffic;
 pub mod trial;
 
 pub use binning::{assign_zones, BinningConfig, ZoneAssignment, ZoneSummary};
-pub use churn::ChurnSchedule;
+pub use chaos::{
+    run_with_invariants, ChaosInjector, ChaosStats, CheckpointConfig, Fault, FaultFilter,
+    FaultKind, FaultPlan, Invariant, InvariantPhase, SendVerdict, Violation,
+};
+pub use churn::{ChurnEvent, ChurnSchedule};
 pub use geo::{GeoPoint, PlacedNode, Region};
 pub use payload::Shared;
 pub use rng::{derive_seed, sub_rng};

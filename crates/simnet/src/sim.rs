@@ -26,6 +26,7 @@ use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 
+use crate::chaos::{ChaosInjector, FaultFilter};
 use crate::rng::sub_rng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeIdx, Topology};
@@ -302,6 +303,8 @@ pub struct Simulator<A: Application> {
     scratch: Vec<Action<A::Msg>>,
     events_processed: u64,
     messages_dropped: u64,
+    chaos: Option<ChaosInjector>,
+    fault_filter: Option<FaultFilter<A::Msg>>,
 }
 
 impl<A: Application> Simulator<A> {
@@ -343,7 +346,27 @@ impl<A: Application> Simulator<A> {
             topology,
             events_processed: 0,
             messages_dropped: 0,
+            chaos: None,
+            fault_filter: None,
         }
+    }
+
+    /// Installs a fault injector consulted on every message send (after the
+    /// topology's own loss/delay sampling, so the main RNG stream is
+    /// unaffected). See [`crate::chaos::FaultPlan`].
+    pub fn install_chaos(&mut self, injector: ChaosInjector) {
+        self.chaos = Some(injector);
+    }
+
+    /// The installed fault injector, if any (e.g. to read its stats).
+    pub fn chaos(&self) -> Option<&ChaosInjector> {
+        self.chaos.as_ref()
+    }
+
+    /// Installs a protocol-aware message filter (return `true` to drop).
+    /// Used to plant deliberate bugs that the chaos oracles must catch.
+    pub fn set_fault_filter(&mut self, filter: FaultFilter<A::Msg>) {
+        self.fault_filter = Some(filter);
     }
 
     /// Current simulated time.
@@ -592,8 +615,41 @@ impl<A: Application> Simulator<A> {
                         self.messages_dropped += 1;
                         continue;
                     }
-                    let delay = self.topology.sample_delay(src, to, size, &mut self.rng);
+                    // The base loss/delay draws above always happen first,
+                    // so installing no chaos leaves the main RNG stream —
+                    // and every golden fixture — untouched.
+                    let mut delay = self.topology.sample_delay(src, to, size, &mut self.rng);
+                    let mut duplicate = false;
+                    if let Some(chaos) = self.chaos.as_mut() {
+                        let verdict = chaos.on_send(self.now, src, to, &self.topology);
+                        if verdict.drop {
+                            self.messages_dropped += 1;
+                            continue;
+                        }
+                        if verdict.delay_factor > 1 {
+                            delay = delay.saturating_mul(verdict.delay_factor);
+                        }
+                        duplicate = verdict.duplicate;
+                    }
+                    if let Some(filter) = self.fault_filter.as_mut() {
+                        if filter(self.now, src, to, &msg) {
+                            self.messages_dropped += 1;
+                            continue;
+                        }
+                    }
                     let at = self.now + extra + delay;
+                    if duplicate {
+                        // Same arrival time; the heap sequence number keeps
+                        // the pair ordered deterministically.
+                        self.push_event(
+                            at,
+                            to,
+                            EventKind::Deliver {
+                                src,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
                     self.push_event(at, to, EventKind::Deliver { src, msg });
                 }
                 Action::Timer { delay, token } => {

@@ -350,11 +350,14 @@ fn replan_ablation_attaches_faster_than_timeout_only() {
             });
         let topic = totoro_dht::app_id("flaky-ablation", "x", 1);
         for i in 0..n {
+            // `with_app` silently skips downed nodes; every node is up at
+            // subscribe time, so an unnoticed skip here would be a bug.
             sim.with_app(i, |node, ctx| {
                 node.with_api(ctx, |forest, dht| {
                     forest.with_forest_api(dht, |_a, api| api.subscribe(topic));
                 });
-            });
+            })
+            .expect("all nodes are up at subscribe time");
         }
         sim.run_until(SimTime::from_micros(20 * 1_000_000));
         // Blink an interior node forever.
@@ -391,6 +394,85 @@ fn replan_ablation_attaches_faster_than_timeout_only() {
         with_replan <= without,
         "replanning left more nodes on the flaky parent: {with_replan} vs {without}"
     );
+}
+
+/// A Totoro deployment keeps training through client churn: downed members
+/// contribute nothing while away (the watchdog/timeout path finalizes their
+/// rounds without them), and after revival they reattach to the forest and
+/// participate again.
+#[test]
+fn totoro_deployment_survives_mid_training_churn() {
+    let n = 20;
+    let seed = 37;
+    let mut rng = sub_rng(seed, "task");
+    let generator = TaskGenerator::new(text_classification_like(), &mut rng);
+    let shards = generator.client_shards(n, 40, 0.5, &mut rng);
+    let mut deploy = TotoroDeployment::new(
+        Topology::uniform(n, 1_000, 5_000),
+        seed,
+        DhtConfig::default(),
+        ForestConfig {
+            // Flush churn-stalled rounds quickly instead of waiting out the
+            // default 60 s aggregation timeout.
+            agg_timeout: totoro_simnet::SimDuration::from_secs(5),
+            ..ForestConfig::default()
+        },
+    );
+    let mut cfg = FlAppConfig::new(
+        "churny",
+        vec![generator.spec.dim, 32, generator.spec.classes],
+        Arc::new(generator.test_set(200, &mut rng)),
+    );
+    cfg.target_accuracy = 2.0; // Unreachable: run exactly max_rounds.
+    cfg.max_rounds = 20;
+    let app = deploy.submit_app(cfg, &(0..n).collect::<Vec<_>>(), shards);
+
+    // Let the master elect and the first round land (~2 s cadence), then
+    // churn three non-master members out mid-training.
+    deploy.sim_mut().run_until(SimTime::from_micros(3_000_000));
+    let master = deploy.master_of(app).expect("a master was elected");
+    let victims: Vec<usize> = (0..n).filter(|&i| i != master).take(3).collect();
+    for &v in &victims {
+        deploy
+            .sim_mut()
+            .schedule_down(v, SimTime::from_micros(5_000_000));
+        deploy
+            .sim_mut()
+            .schedule_up(v, SimTime::from_micros(25_000_000));
+    }
+    let finished = deploy.run(SimTime::from_micros(HOUR));
+    assert!(finished, "churn stalled the deployment");
+    assert_eq!(
+        deploy.curve(app).last().map(|p| p.round),
+        Some(20),
+        "not all rounds completed"
+    );
+
+    // The revived members are back in the tree, bidirectionally.
+    let topic = deploy.config(app).app_id();
+    for &v in &victims {
+        let m = deploy
+            .sim()
+            .app(v)
+            .upper
+            .state
+            .membership(topic)
+            .expect("membership survives churn");
+        assert!(m.attached(), "revived member {v} never reattached");
+        if let Some(p) = m.parent.map(|p| p.addr) {
+            assert!(deploy.sim().alive(p), "member {v} hangs off a dead parent");
+            assert!(
+                deploy
+                    .sim()
+                    .app(p)
+                    .upper
+                    .state
+                    .membership(topic)
+                    .is_some_and(|pm| pm.children.iter().any(|c| c.addr == v)),
+                "parent {p} does not list revived member {v}"
+            );
+        }
+    }
 }
 
 /// Trivial echo app used by the replan ablation.

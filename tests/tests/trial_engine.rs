@@ -32,12 +32,13 @@ fn tiny_fig11() -> (Box<dyn Scenario>, Params) {
 #[test]
 fn registry_names_are_unique_and_resolvable() {
     let all = scenarios::all();
-    // Eleven evaluation artifacts plus the `simcore` perf baseline.
-    assert_eq!(all.len(), 12, "all registered scenarios present");
+    // Eleven evaluation artifacts plus the `simcore` perf baseline and the
+    // chaos sweep.
+    assert_eq!(all.len(), 13, "all registered scenarios present");
     let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
     names.sort_unstable();
     names.dedup();
-    assert_eq!(names.len(), 12, "scenario names are unique");
+    assert_eq!(names.len(), 13, "scenario names are unique");
     for name in names {
         assert!(scenarios::find(name).is_some(), "find({name}) resolves");
     }
