@@ -59,6 +59,17 @@ impl Payload for CentralMsg {
             CentralMsg::Upload { update, .. } => 32 + update.wire_bytes(),
         }
     }
+
+    fn layer(&self) -> &'static str {
+        "central"
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            CentralMsg::Download { .. } => "download",
+            CentralMsg::Upload { .. } => "upload",
+        }
+    }
 }
 
 /// A bounded-concurrency FIFO work queue (the server's worker pool).

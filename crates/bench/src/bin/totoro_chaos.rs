@@ -8,16 +8,26 @@
 //! ```text
 //! totoro-chaos --seeds 64 --plan loss-spike partition churn+stragglers --jobs 8
 //! totoro-chaos --replay churn+stragglers:49 --inject-bug drop-repair-join
+//! totoro-chaos --replay churn+stragglers:49 --trace out.json --inject-bug drop-repair-join
 //! ```
 //!
 //! `--plan` accepts one or more names (so shell brace expansion like
 //! `--plan {loss-spike,partition}` works) or a single comma-separated list.
+//! `--trace PATH` (replay only) records the whole trial through a
+//! [`RecordingSink`] and, for every violation, prints the causal span of
+//! the last forest-layer message chain in flight when the oracle fired.
 //! Output is byte-identical across `--jobs` settings.
 
 use std::process::ExitCode;
 
-use totoro_bench::chaos::{run_chaos_trial, shrink, BugKind, ChaosScenario, ChaosSpec, PLAN_NAMES};
+use totoro_bench::chaos::{
+    run_chaos_trial_sink, shrink, BugKind, ChaosScenario, ChaosSpec, PLAN_NAMES,
+};
+use totoro_bench::logging;
 use totoro_bench::scenario::{run_trials, Params, Scenario, Trial};
+use totoro_simnet::{
+    chrome_trace, jsonl_trace, last_trace_before, span_report, NoopSink, RecordingSink,
+};
 
 struct Cli {
     nodes: usize,
@@ -29,16 +39,21 @@ struct Cli {
     bug: Option<String>,
     report_path: Option<String>,
     replay: Option<(String, u64)>,
+    trace: Option<String>,
+    trace_filter: Option<String>,
+    quiet: bool,
+    verbose: bool,
 }
 
 fn usage() -> ! {
-    eprintln!(
+    logging::info(format_args!(
         "usage: totoro-chaos [--seeds N] [--plan NAME... | NAME,NAME] [--nodes N] [--trees N]\n\
          \x20                   [--seed S] [--jobs J] [--inject-bug NAME] [--report PATH]\n\
-         \x20                   [--replay PLAN:SEED]\n\
+         \x20                   [--replay PLAN:SEED] [--trace PATH] [--trace-filter LAYER]\n\
+         \x20                   [--quiet] [--verbose]\n\
          plans: {}",
         PLAN_NAMES.join(", ")
-    );
+    ));
     std::process::exit(2);
 }
 
@@ -53,6 +68,10 @@ fn parse_cli(args: &[String]) -> Cli {
         bug: None,
         report_path: None,
         replay: None,
+        trace: None,
+        trace_filter: None,
+        quiet: false,
+        verbose: false,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -60,7 +79,7 @@ fn parse_cli(args: &[String]) -> Cli {
             match it.next() {
                 Some(v) => v.clone(),
                 None => {
-                    eprintln!("flag {flag} expects a value");
+                    logging::error(format_args!("flag {flag} expects a value"));
                     usage();
                 }
             }
@@ -73,14 +92,20 @@ fn parse_cli(args: &[String]) -> Cli {
             "--jobs" => cli.jobs = parse_num(&value("--jobs"), "--jobs").max(1),
             "--inject-bug" => cli.bug = Some(value("--inject-bug")),
             "--report" => cli.report_path = Some(value("--report")),
+            "--trace" => cli.trace = Some(value("--trace")),
+            "--trace-filter" => cli.trace_filter = Some(value("--trace-filter")),
+            "--quiet" => cli.quiet = true,
+            "--verbose" => cli.verbose = true,
             "--replay" => {
                 let spec = value("--replay");
                 let Some((plan, seed)) = spec.rsplit_once(':') else {
-                    eprintln!("--replay expects PLAN:SEED, got {spec:?}");
+                    logging::error(format_args!("--replay expects PLAN:SEED, got {spec:?}"));
                     usage();
                 };
                 let Ok(seed) = seed.parse::<u64>() else {
-                    eprintln!("--replay seed must be an integer, got {seed:?}");
+                    logging::error(format_args!(
+                        "--replay seed must be an integer, got {seed:?}"
+                    ));
                     usage();
                 };
                 cli.replay = Some((plan.to_string(), seed));
@@ -101,13 +126,13 @@ fn parse_cli(args: &[String]) -> Cli {
                     }
                 }
                 if cli.plans.is_empty() {
-                    eprintln!("--plan expects at least one plan name");
+                    logging::error("--plan expects at least one plan name");
                     usage();
                 }
             }
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("unknown argument {other:?}");
+                logging::error(format_args!("unknown argument {other:?}"));
                 usage();
             }
         }
@@ -117,15 +142,22 @@ fn parse_cli(args: &[String]) -> Cli {
     }
     for p in &cli.plans {
         if !PLAN_NAMES.contains(&p.as_str()) {
-            eprintln!("unknown plan {p:?} (use {})", PLAN_NAMES.join(", "));
+            logging::error(format_args!(
+                "unknown plan {p:?} (use {})",
+                PLAN_NAMES.join(", ")
+            ));
             usage();
         }
     }
     if let Some(bug) = &cli.bug {
         if BugKind::parse(bug).is_none() {
-            eprintln!("unknown bug {bug:?} (use drop-repair-join)");
+            logging::error(format_args!("unknown bug {bug:?} (use drop-repair-join)"));
             usage();
         }
+    }
+    if cli.trace.is_some() && cli.replay.is_none() {
+        logging::error("--trace is only valid with --replay (sweeps would trace every trial)");
+        usage();
     }
     cli
 }
@@ -134,13 +166,15 @@ fn parse_num(v: &str, flag: &str) -> usize {
     match v.parse() {
         Ok(n) => n,
         Err(_) => {
-            eprintln!("{flag} expects an integer, got {v:?}");
+            logging::error(format_args!("{flag} expects an integer, got {v:?}"));
             usage();
         }
     }
 }
 
 /// Re-runs a single `(plan, seed)` pair verbosely, shrinking on failure.
+/// With `--trace`, records the trial and prints the causal span behind
+/// each violation.
 fn replay(cli: &Cli, plan: &str, seed: u64) -> ExitCode {
     let spec = ChaosSpec {
         nodes: cli.nodes,
@@ -157,7 +191,29 @@ fn replay(cli: &Cli, plan: &str, seed: u64) -> ExitCode {
             .map(|b| format!(" bug={}", b.name()))
             .unwrap_or_default()
     );
-    let outcome = run_chaos_trial(&spec, None);
+    let (outcome, records) = if cli.trace.is_some() {
+        let sink = RecordingSink::new(cli.nodes).with_layer_filter(cli.trace_filter.clone());
+        let (outcome, mut sink) = run_chaos_trial_sink(&spec, None, sink);
+        (outcome, Some(sink.take_records()))
+    } else {
+        (run_chaos_trial_sink(&spec, None, NoopSink).0, None)
+    };
+    if let (Some(path), Some(records)) = (cli.trace.as_deref(), records.as_deref()) {
+        let trace = if path.ends_with(".jsonl") {
+            jsonl_trace(records)
+        } else {
+            chrome_trace(records)
+        };
+        if let Err(e) = std::fs::write(path, &trace) {
+            logging::error(format_args!("cannot write trace {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+        logging::info(format_args!(
+            "wrote {} trace bytes ({} records) to {path}",
+            trace.len(),
+            records.len()
+        ));
+    }
     println!("plan atoms:");
     for atom in &outcome.atoms {
         println!("  - {atom}");
@@ -181,6 +237,17 @@ fn replay(cli: &Cli, plan: &str, seed: u64) -> ExitCode {
             v.at.as_micros() as f64 / 1e6,
             v.detail
         );
+        if let Some(records) = records.as_deref() {
+            match last_trace_before(records, "forest", v.at.as_micros()) {
+                Some(trace) => {
+                    println!("  last forest message chain in flight (span {trace}):");
+                    for line in span_report(records, trace) {
+                        println!("    {line}");
+                    }
+                }
+                None => println!("  no forest message chain recorded before the violation"),
+            }
+        }
     }
     let shrunk = shrink(&spec);
     println!(
@@ -197,6 +264,7 @@ fn replay(cli: &Cli, plan: &str, seed: u64) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_cli(&args);
+    logging::set_level(logging::level_from_flags(cli.quiet, cli.verbose));
     if let Some((plan, seed)) = cli.replay.clone() {
         return replay(&cli, &plan, seed);
     }
@@ -205,12 +273,12 @@ fn main() -> ExitCode {
         nodes: cli.nodes,
         seed: cli.seed,
         jobs: cli.jobs,
-        json: false,
         extra: vec![
             ("seeds".to_string(), cli.seeds.to_string()),
             ("trees".to_string(), cli.trees.to_string()),
             ("plans".to_string(), cli.plans.join(",")),
         ],
+        ..Params::default()
     };
     if let Some(bug) = &cli.bug {
         params.extra.push(("inject-bug".to_string(), bug.clone()));
@@ -225,7 +293,7 @@ fn main() -> ExitCode {
     let violations: u64 = reports.iter().map(|r| r.metric("violations") as u64).sum();
     if let Some(path) = &cli.report_path {
         if let Err(e) = std::fs::write(path, &text) {
-            eprintln!("failed to write report {path:?}: {e}");
+            logging::error(format_args!("failed to write report {path:?}: {e}"));
             return ExitCode::FAILURE;
         }
     }

@@ -38,11 +38,12 @@ use totoro_dht::{build_states, closest_on_ring, next_hop, DhtConfig, DhtMsg, Id,
 use totoro_pubsub::{ForestConfig, ForestNode, TreeMsg};
 use totoro_simnet::{
     run_with_invariants, sub_rng, ChaosStats, CheckpointConfig, ChurnSchedule, Fault, FaultKind,
-    FaultPlan, Invariant, InvariantPhase, NodeIdx, SimDuration, SimTime, Simulator, Violation,
+    FaultPlan, Invariant, InvariantPhase, NodeIdx, NoopSink, SimDuration, SimTime, Simulator,
+    TraceSink, Violation,
 };
 
 use crate::scenario::{Params, Scenario, Trial, TrialReport};
-use crate::setups::{echo_overlay_with, eua_topology, topic, Blob, EchoApp, EchoSim};
+use crate::setups::{echo_overlay_with_sink, eua_topology, topic, Blob, EchoApp, EchoSim};
 
 /// The canned plan names accepted by [`canned_plan`] and the CLI.
 pub const PLAN_NAMES: [&str; 3] = ["loss-spike", "partition", "churn+stragglers"];
@@ -84,9 +85,9 @@ fn fmt_time(t: SimTime) -> String {
 // ---------------------------------------------------------------------------
 
 /// A settled Totoro stack ready for fault injection.
-pub struct ChaosWorld {
+pub struct ChaosWorld<S: TraceSink = NoopSink> {
     /// The simulator (DHT + forest + echo app per node).
-    pub sim: EchoSim,
+    pub sim: EchoSim<S>,
     /// The experiment's tree topics.
     pub topics: Vec<Id>,
 }
@@ -94,6 +95,16 @@ pub struct ChaosWorld {
 /// Builds an overlay of `nodes` nodes over an EUA topology, subscribes
 /// every node to `trees` topics, and settles to [`SETTLE`].
 pub fn build_world(nodes: usize, trees: usize, seed: u64) -> ChaosWorld {
+    build_world_sink(nodes, trees, seed, NoopSink)
+}
+
+/// [`build_world`] with an explicit trace sink installed on the simulator.
+pub fn build_world_sink<S: TraceSink>(
+    nodes: usize,
+    trees: usize,
+    seed: u64,
+    sink: S,
+) -> ChaosWorld<S> {
     let topology = eua_topology(nodes, seed);
     let fconfig = ForestConfig {
         fanout_cap: FANOUT,
@@ -104,7 +115,7 @@ pub fn build_world(nodes: usize, trees: usize, seed: u64) -> ChaosWorld {
         max_depth: 32,
         ..ForestConfig::default()
     };
-    let mut sim = echo_overlay_with(topology, seed, FANOUT, fconfig);
+    let mut sim = echo_overlay_with_sink(topology, seed, FANOUT, fconfig, sink);
     let topics: Vec<Id> = (0..trees).map(|k| topic("chaos", k as u64)).collect();
     for &t in &topics {
         for i in 0..sim.len() {
@@ -121,7 +132,7 @@ pub fn build_world(nodes: usize, trees: usize, seed: u64) -> ChaosWorld {
 }
 
 /// The live rendezvous roots of every topic (lowest index first per topic).
-pub fn live_roots(sim: &EchoSim, topics: &[Id]) -> Vec<NodeIdx> {
+pub fn live_roots<S: TraceSink>(sim: &EchoSim<S>, topics: &[Id]) -> Vec<NodeIdx> {
     let mut roots = Vec::new();
     for &t in topics {
         if let Some(r) = (0..sim.len()).find(|&i| {
@@ -154,7 +165,12 @@ pub fn live_roots(sim: &EchoSim, topics: &[Id]) -> Vec<NodeIdx> {
 /// Partition windows stay under the 3s tree parent-timeout for the same
 /// reason. All stochastic choices derive from `seed` side streams, never
 /// from the simulator's RNG.
-pub fn canned_plan(name: &str, sim: &EchoSim, roots: &[NodeIdx], seed: u64) -> FaultPlan {
+pub fn canned_plan<S: TraceSink>(
+    name: &str,
+    sim: &EchoSim<S>,
+    roots: &[NodeIdx],
+    seed: u64,
+) -> FaultPlan {
     match name {
         "loss-spike" => FaultPlan::none()
             .with_fault(Fault::new(
@@ -262,7 +278,7 @@ pub type RoundLedger = Rc<RefCell<Vec<RoundRecord>>>;
 /// lists the child, the child points back at the parent, and the child is
 /// alive. These are exactly the nodes a broadcast can reach and whose
 /// contribution the root will count.
-pub fn reachable_subscribers(sim: &EchoSim, t: Id, root: NodeIdx) -> u64 {
+pub fn reachable_subscribers<S: TraceSink>(sim: &EchoSim<S>, t: Id, root: NodeIdx) -> u64 {
     let mut visited = vec![false; sim.len()];
     visited[root] = true;
     let mut stack = vec![root];
@@ -303,8 +319,8 @@ pub fn reachable_subscribers(sim: &EchoSim, t: Id, root: NodeIdx) -> u64 {
 }
 
 /// Drives one broadcast round on every topic and records it in the ledger.
-fn drive_rounds(
-    sim: &mut EchoSim,
+fn drive_rounds<S: TraceSink>(
+    sim: &mut EchoSim<S>,
     topics: &[Id],
     round: u64,
     quiesce_at: SimTime,
@@ -382,12 +398,12 @@ impl Conservation {
     }
 }
 
-impl Invariant<ForestNode<EchoApp>> for Conservation {
+impl<S: TraceSink> Invariant<ForestNode<EchoApp>, S> for Conservation {
     fn name(&self) -> &'static str {
         "Conservation"
     }
 
-    fn check(&mut self, sim: &Simulator<ForestNode<EchoApp>>) -> Result<(), String> {
+    fn check(&mut self, sim: &Simulator<ForestNode<EchoApp>, S>) -> Result<(), String> {
         // Completions survive node death (state is frozen, not dropped), so
         // every flush ever performed is visible here.
         let mut flushed: BTreeMap<(Id, u64), u64> = BTreeMap::new();
@@ -425,7 +441,7 @@ impl Invariant<ForestNode<EchoApp>> for Conservation {
 }
 
 /// Live node list `(id, addr)` sorted by ring id.
-fn live_by_id(sim: &EchoSim) -> Vec<(Id, NodeIdx)> {
+fn live_by_id<S: TraceSink>(sim: &EchoSim<S>) -> Vec<(Id, NodeIdx)> {
     let mut live: Vec<(Id, NodeIdx)> = (0..sim.len())
         .filter(|&i| sim.alive(i))
         .map(|i| (sim.app(i).state.id(), i))
@@ -449,7 +465,7 @@ impl DhtConsistency {
     }
 }
 
-impl Invariant<ForestNode<EchoApp>> for DhtConsistency {
+impl<S: TraceSink> Invariant<ForestNode<EchoApp>, S> for DhtConsistency {
     fn name(&self) -> &'static str {
         "DhtConsistency"
     }
@@ -458,7 +474,7 @@ impl Invariant<ForestNode<EchoApp>> for DhtConsistency {
         InvariantPhase::Quiescent
     }
 
-    fn check(&mut self, sim: &Simulator<ForestNode<EchoApp>>) -> Result<(), String> {
+    fn check(&mut self, sim: &Simulator<ForestNode<EchoApp>, S>) -> Result<(), String> {
         let live = live_by_id(sim);
         let ids: Vec<Id> = live.iter().map(|&(id, _)| id).collect();
         let oracle = build_states(&ids, self.config);
@@ -510,7 +526,7 @@ impl RendezvousUnique {
     }
 }
 
-impl Invariant<ForestNode<EchoApp>> for RendezvousUnique {
+impl<S: TraceSink> Invariant<ForestNode<EchoApp>, S> for RendezvousUnique {
     fn name(&self) -> &'static str {
         "RendezvousUnique"
     }
@@ -519,7 +535,7 @@ impl Invariant<ForestNode<EchoApp>> for RendezvousUnique {
         InvariantPhase::Quiescent
     }
 
-    fn check(&mut self, sim: &Simulator<ForestNode<EchoApp>>) -> Result<(), String> {
+    fn check(&mut self, sim: &Simulator<ForestNode<EchoApp>, S>) -> Result<(), String> {
         let live = live_by_id(sim);
         let ids: Vec<Id> = live.iter().map(|&(id, _)| id).collect();
         for &key in &self.topics {
@@ -550,7 +566,7 @@ impl Invariant<ForestNode<EchoApp>> for RendezvousUnique {
 /// Walks `i`'s parent chain for `t`; `Ok(true)` when it reaches a live
 /// root, `Ok(false)` when it dangles (detached or dead parent), `Err` on a
 /// cycle or overlong chain.
-fn chain_reaches_root(sim: &EchoSim, t: Id, i: NodeIdx) -> Result<bool, String> {
+fn chain_reaches_root<S: TraceSink>(sim: &EchoSim<S>, t: Id, i: NodeIdx) -> Result<bool, String> {
     let mut cur = i;
     for _ in 0..=sim.len() {
         if !sim.alive(cur) {
@@ -585,7 +601,7 @@ impl ForestStructure {
     }
 }
 
-impl Invariant<ForestNode<EchoApp>> for ForestStructure {
+impl<S: TraceSink> Invariant<ForestNode<EchoApp>, S> for ForestStructure {
     fn name(&self) -> &'static str {
         "ForestStructure"
     }
@@ -594,7 +610,7 @@ impl Invariant<ForestNode<EchoApp>> for ForestStructure {
         InvariantPhase::Quiescent
     }
 
-    fn check(&mut self, sim: &Simulator<ForestNode<EchoApp>>) -> Result<(), String> {
+    fn check(&mut self, sim: &Simulator<ForestNode<EchoApp>, S>) -> Result<(), String> {
         for &t in &self.topics {
             let roots: Vec<NodeIdx> = (0..sim.len())
                 .filter(|&i| {
@@ -641,7 +657,7 @@ impl Invariant<ForestNode<EchoApp>> for ForestStructure {
 
 /// Full subscriber coverage: every live subscriber's parent chain reaches a
 /// live root. `Err` carries the first uncovered node.
-fn coverage(sim: &EchoSim, topics: &[Id]) -> Result<(), String> {
+fn coverage<S: TraceSink>(sim: &EchoSim<S>, topics: &[Id]) -> Result<(), String> {
     for &t in topics {
         for i in 0..sim.len() {
             if !sim.alive(i) {
@@ -689,7 +705,7 @@ impl BoundedRecovery {
     }
 }
 
-impl Invariant<ForestNode<EchoApp>> for BoundedRecovery {
+impl<S: TraceSink> Invariant<ForestNode<EchoApp>, S> for BoundedRecovery {
     fn name(&self) -> &'static str {
         "BoundedRecovery"
     }
@@ -698,7 +714,7 @@ impl Invariant<ForestNode<EchoApp>> for BoundedRecovery {
         InvariantPhase::Quiescent
     }
 
-    fn check(&mut self, sim: &Simulator<ForestNode<EchoApp>>) -> Result<(), String> {
+    fn check(&mut self, sim: &Simulator<ForestNode<EchoApp>, S>) -> Result<(), String> {
         match coverage(sim, &self.topics) {
             Ok(()) => {
                 self.held = true;
@@ -730,7 +746,7 @@ impl RepairQuiescence {
     }
 }
 
-impl Invariant<ForestNode<EchoApp>> for RepairQuiescence {
+impl<S: TraceSink> Invariant<ForestNode<EchoApp>, S> for RepairQuiescence {
     fn name(&self) -> &'static str {
         "RepairQuiescence"
     }
@@ -739,7 +755,7 @@ impl Invariant<ForestNode<EchoApp>> for RepairQuiescence {
         InvariantPhase::Quiescent
     }
 
-    fn check(&mut self, sim: &Simulator<ForestNode<EchoApp>>) -> Result<(), String> {
+    fn check(&mut self, sim: &Simulator<ForestNode<EchoApp>, S>) -> Result<(), String> {
         let covered = coverage(sim, &self.topics).is_ok();
         let joins: u64 = sim.apps().map(|a| a.upper.state.stats.joins_sent).sum();
         let result = match self.prev {
@@ -786,7 +802,7 @@ impl BugKind {
 }
 
 /// Installs `bug` on the simulator via the protocol-aware fault filter.
-pub fn install_bug(sim: &mut EchoSim, bug: BugKind) {
+pub fn install_bug<S: TraceSink>(sim: &mut EchoSim<S>, bug: BugKind) {
     match bug {
         BugKind::DropRepairJoin => {
             let from = at_secs(25);
@@ -844,7 +860,19 @@ pub struct ChaosOutcome {
 /// (restricted to `mask`'s atoms when given), and drive rounds under live
 /// invariant checking. Fully deterministic in `(spec, mask)`.
 pub fn run_chaos_trial(spec: &ChaosSpec, mask: Option<&[bool]>) -> ChaosOutcome {
-    let ChaosWorld { mut sim, topics } = build_world(spec.nodes, spec.trees, spec.seed);
+    run_chaos_trial_sink(spec, mask, NoopSink).0
+}
+
+/// [`run_chaos_trial`] with an explicit trace sink: the sink observes the
+/// whole trial (settle included) and is returned so callers can drain its
+/// records — this is how `totoro-chaos --replay --trace` reconstructs the
+/// message chain behind a violation.
+pub fn run_chaos_trial_sink<S: TraceSink>(
+    spec: &ChaosSpec,
+    mask: Option<&[bool]>,
+    sink: S,
+) -> (ChaosOutcome, S) {
+    let ChaosWorld { mut sim, topics } = build_world_sink(spec.nodes, spec.trees, spec.seed, sink);
     let roots = live_roots(&sim, &topics);
     let full_plan = canned_plan(&spec.plan, &sim, &roots, spec.seed);
     let plan = match mask {
@@ -863,7 +891,7 @@ pub fn run_chaos_trial(spec: &ChaosSpec, mask: Option<&[bool]>) -> ChaosOutcome 
     }
 
     let ledger: RoundLedger = Rc::new(RefCell::new(Vec::new()));
-    let mut invariants: Vec<Box<dyn Invariant<ForestNode<EchoApp>>>> = vec![
+    let mut invariants: Vec<Box<dyn Invariant<ForestNode<EchoApp>, S>>> = vec![
         Box::new(Conservation::new(Rc::clone(&ledger))),
         Box::new(DhtConsistency::new(DhtConfig::with_fanout(FANOUT))),
         Box::new(RendezvousUnique::new(topics.clone())),
@@ -881,13 +909,14 @@ pub fn run_chaos_trial(spec: &ChaosSpec, mask: Option<&[bool]>) -> ChaosOutcome 
             next_broadcast += BROADCAST_GAP;
         }
     });
-    ChaosOutcome {
+    let outcome = ChaosOutcome {
         violations,
         atoms: plan.describe(),
         rounds: round * topics.len() as u64,
         chaos: sim.chaos().map(|c| c.stats).unwrap_or_default(),
         sim: totoro_simnet::TrialReport::capture(&sim),
-    }
+    };
+    (outcome, sim.into_sink())
 }
 
 /// The result of shrinking a failing plan.

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod logging;
 pub mod report;
 pub mod scenario;
 pub mod scenarios;

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use totoro_simnet::TrialReport as SimAccounting;
+use totoro_simnet::{chrome_trace_multi, jsonl_trace_multi, TraceRecord};
 
 /// Common experiment parameters, parsed once by the driver.
 ///
@@ -35,6 +36,17 @@ pub struct Params {
     pub jobs: usize,
     /// Emit machine-readable JSON reports instead of rendered text.
     pub json: bool,
+    /// Write an execution trace to this path (`.jsonl` → JSONL, anything
+    /// else → Chrome `trace_event` JSON). `None` keeps the zero-cost
+    /// [`totoro_simnet::NoopSink`] installed.
+    pub trace: Option<String>,
+    /// Restrict buffered trace records to this layer tag (metrics still
+    /// aggregate over every layer).
+    pub trace_filter: Option<String>,
+    /// Suppress progress lines on stderr (`--quiet`).
+    pub quiet: bool,
+    /// Emit debug detail on stderr (`--verbose`).
+    pub verbose: bool,
     /// Scenario-specific `--key value` overrides, in CLI order.
     pub extra: Vec<(String, String)>,
 }
@@ -46,6 +58,10 @@ impl Default for Params {
             seed: 42,
             jobs: 1,
             json: false,
+            trace: None,
+            trace_filter: None,
+            quiet: false,
+            verbose: false,
             extra: Vec::new(),
         }
     }
@@ -284,6 +300,23 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// What [`Scenario::run_traced`] should record.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Buffer only records whose layer tag equals this (e.g. `"forest"`);
+    /// `None` buffers everything.
+    pub filter: Option<String>,
+}
+
+impl TraceOptions {
+    /// Options derived from the driver's `--trace-filter` flag.
+    pub fn from_params(params: &Params) -> Self {
+        TraceOptions {
+            filter: params.trace_filter.clone(),
+        }
+    }
+}
+
 /// One registered experiment: expansion, execution, and rendering.
 ///
 /// Implementations must be `Sync`: `run` is called concurrently from worker
@@ -307,6 +340,24 @@ pub trait Scenario: Sync {
     /// Runs one trial to completion and returns its report.
     fn run(&self, trial: &Trial) -> TrialReport;
 
+    /// [`Scenario::run`] with tracing requested: scenarios that support
+    /// tracing install a [`totoro_simnet::RecordingSink`] and return the
+    /// buffered records alongside the report. The default ignores `opts`
+    /// and returns no records, so tracing-unaware scenarios keep working
+    /// (the driver reports an empty trace).
+    ///
+    /// Contract: the returned report must be byte-for-byte the report
+    /// [`Scenario::run`] produces (sinks observe, never perturb), except
+    /// for the optional `sim.obs` metrics section.
+    fn run_traced(
+        &self,
+        trial: &Trial,
+        opts: &TraceOptions,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>) {
+        let _ = opts;
+        (self.run(trial), None)
+    }
+
     /// Renders the ordered reports into the artifact text.
     ///
     /// `reports[i]` corresponds to `trials(params)[i]`; rendering must not
@@ -322,21 +373,34 @@ pub trait Scenario: Sync {
 /// `Vec` is ordered by [`Trial::index`] regardless of completion order.
 /// Panics in any trial propagate after all workers stop.
 pub fn run_trials(scenario: &dyn Scenario, trials: &[Trial], jobs: usize) -> Vec<TrialReport> {
-    let jobs = jobs.max(1).min(trials.len().max(1));
+    run_trials_with(trials.len(), jobs, |i| scenario.run(&trials[i]))
+}
+
+/// The generic trial engine behind [`run_trials`]: runs `run(0..count)` on
+/// `jobs` worker threads and returns results **indexed by trial, not by
+/// completion order** — the property every determinism guarantee in this
+/// crate rests on. Generic over the result type so traced runs (report +
+/// record buffer) use the same engine as plain runs.
+pub fn run_trials_with<R: Send>(
+    count: usize,
+    jobs: usize,
+    run: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    let jobs = jobs.max(1).min(count.max(1));
     if jobs == 1 {
-        return trials.iter().map(|t| scenario.run(t)).collect();
+        return (0..count).map(run).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<TrialReport>>> = trials.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= trials.len() {
+                if i >= count {
                     break;
                 }
-                let report = scenario.run(&trials[i]);
-                *slots[i].lock().expect("report slot poisoned") = Some(report);
+                let result = run(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
     });
@@ -345,8 +409,8 @@ pub fn run_trials(scenario: &dyn Scenario, trials: &[Trial], jobs: usize) -> Vec
         .enumerate()
         .map(|(i, slot)| {
             slot.into_inner()
-                .expect("report slot poisoned")
-                .unwrap_or_else(|| panic!("trial {i} produced no report"))
+                .expect("result slot poisoned")
+                .unwrap_or_else(|| panic!("trial {i} produced no result"))
         })
         .collect()
 }
@@ -363,9 +427,20 @@ pub fn parse_params(defaults: Params, args: &[String]) -> Result<Params, String>
         let Some(key) = arg.strip_prefix("--") else {
             return Err(format!("unexpected positional argument {arg:?}"));
         };
-        if key == "json" {
-            params.json = true;
-            continue;
+        match key {
+            "json" => {
+                params.json = true;
+                continue;
+            }
+            "quiet" => {
+                params.quiet = true;
+                continue;
+            }
+            "verbose" => {
+                params.verbose = true;
+                continue;
+            }
+            _ => {}
         }
         let Some(value) = it.next() else {
             return Err(format!("flag --{key} expects a value"));
@@ -389,6 +464,8 @@ pub fn parse_params(defaults: Params, args: &[String]) -> Result<Params, String>
                     return Err("--jobs must be at least 1".to_string());
                 }
             }
+            "trace" => params.trace = Some(value.clone()),
+            "trace-filter" => params.trace_filter = Some(value.clone()),
             _ => params.extra.push((key.to_string(), value.clone())),
         }
     }
@@ -401,28 +478,102 @@ pub fn parse_params(defaults: Params, args: &[String]) -> Result<Params, String>
 /// `totoro-bench` CLI, the per-figure shim binaries, and the determinism
 /// tests (which compare its output byte-for-byte across `jobs` settings).
 pub fn execute(scenario: &dyn Scenario, params: &Params) -> String {
+    execute_traced(scenario, params).0
+}
+
+/// [`execute`] plus the serialized trace, when `params.trace` is set.
+///
+/// Traced trials run through the same parallel engine; record buffers are
+/// collected **by trial index**, so the serialized trace — like the
+/// rendered output — is byte-identical across `--jobs` settings. The trace
+/// format follows the target path: `.jsonl` → JSONL (one record per line,
+/// each tagged with its trial index), anything else → Chrome `trace_event`
+/// JSON with one `pid` per trial.
+pub fn execute_traced(scenario: &dyn Scenario, params: &Params) -> (String, Option<String>) {
     let trials = Trial::seal(scenario.trials(params));
-    let reports = run_trials(scenario, &trials, params.jobs);
-    if params.json {
+    let (reports, trace) = if params.trace.is_some() {
+        let opts = TraceOptions::from_params(params);
+        let results = run_trials_with(trials.len(), params.jobs, |i| {
+            scenario.run_traced(&trials[i], &opts)
+        });
+        let mut reports = Vec::with_capacity(results.len());
+        let mut groups: Vec<(u64, Vec<TraceRecord>)> = Vec::new();
+        for (i, (report, records)) in results.into_iter().enumerate() {
+            reports.push(report);
+            if let Some(records) = records {
+                groups.push((i as u64, records));
+            }
+        }
+        if groups.is_empty() {
+            // The default `run_traced` returns no records: this scenario
+            // has not been wired for tracing (only a per-scenario override
+            // knows which simulator runs to record).
+            crate::logging::info(format_args!(
+                "note: scenario {:?} does not implement tracing; the trace will be empty",
+                scenario.name()
+            ));
+        }
+        let refs: Vec<(u64, &[TraceRecord])> = groups
+            .iter()
+            .map(|(pid, records)| (*pid, records.as_slice()))
+            .collect();
+        let jsonl = params
+            .trace
+            .as_deref()
+            .is_some_and(|p| p.ends_with(".jsonl"));
+        let trace = if jsonl {
+            jsonl_trace_multi(&refs)
+        } else {
+            chrome_trace_multi(&refs)
+        };
+        (reports, Some(trace))
+    } else {
+        (run_trials(scenario, &trials, params.jobs), None)
+    };
+    let out = if params.json {
         let lines: Vec<String> = reports.iter().map(TrialReport::to_json).collect();
         format!("[{}]\n", lines.join(",\n "))
     } else {
         scenario.render(params, &reports)
-    }
+    };
+    (out, trace)
 }
 
 /// CLI driver: parses `args`, runs the scenario, prints the output.
 ///
-/// Exits the process with status 2 on a malformed command line.
+/// Installs the stderr verbosity from `--quiet`/`--verbose`, writes the
+/// trace file when `--trace PATH` was given, and exits the process with
+/// status 2 on a malformed command line.
 pub fn run_scenario(scenario: &dyn Scenario, args: &[String]) {
     match parse_params(scenario.default_params(), args) {
-        Ok(params) => print!("{}", execute(scenario, &params)),
+        Ok(params) => {
+            crate::logging::set_level(crate::logging::level_from_flags(
+                params.quiet,
+                params.verbose,
+            ));
+            let (out, trace) = execute_traced(scenario, &params);
+            if let (Some(path), Some(trace)) = (params.trace.as_deref(), trace) {
+                match std::fs::write(path, &trace) {
+                    Ok(()) => crate::logging::info(format_args!(
+                        "{}: wrote {} trace bytes to {path}",
+                        scenario.name(),
+                        trace.len()
+                    )),
+                    Err(e) => {
+                        crate::logging::error(format_args!("cannot write trace {path}: {e}"));
+                        std::process::exit(1);
+                    }
+                }
+            }
+            print!("{out}");
+        }
         Err(msg) => {
-            eprintln!("{}: {msg}", scenario.name());
-            eprintln!(
-                "usage: {} [--nodes N] [--seed S] [--jobs J] [--json] [--key value ...]",
+            crate::logging::error(format_args!("{}: {msg}", scenario.name()));
+            crate::logging::info(format_args!(
+                "usage: {} [--nodes N] [--seed S] [--jobs J] [--json] [--trace PATH] \
+                 [--trace-filter LAYER] [--quiet] [--verbose] [--key value ...]",
                 scenario.name()
-            );
+            ));
             std::process::exit(2);
         }
     }

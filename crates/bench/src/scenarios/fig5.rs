@@ -10,10 +10,12 @@
 //!   showing balanced roots/forwarders/leaves.
 
 use crate::report::{csv_block, f2, markdown_table, stats};
-use crate::scenario::{Params, Scenario, Trial, TrialReport};
-use crate::setups::{build_tree, echo_overlay, eua_topology, root_of, topic};
+use crate::scenario::{Params, Scenario, TraceOptions, Trial, TrialReport};
+use crate::setups::{build_tree, echo_overlay_sink, eua_topology, root_of, topic};
 use totoro::{masters_per_node, quantile, role_census};
-use totoro_simnet::{assign_zones, sub_rng, BinningConfig, SimTime};
+use totoro_simnet::{
+    assign_zones, sub_rng, BinningConfig, NoopSink, RecordingSink, SimTime, TraceRecord, TraceSink,
+};
 
 /// Figure 5 scenario (`fig5`).
 pub struct Fig5;
@@ -50,10 +52,25 @@ impl Scenario for Fig5 {
     fn run(&self, trial: &Trial) -> TrialReport {
         match trial.setup.as_str() {
             "zones" => run_zones(trial),
-            "masters" => run_masters(trial),
-            "masters_per_zone" => run_masters_per_zone(trial),
-            "branches" => run_branches(trial),
+            "masters" => run_masters(trial, NoopSink).0,
+            "masters_per_zone" => run_masters_per_zone(trial, NoopSink).0,
+            "branches" => run_branches(trial, NoopSink).0,
             other => panic!("fig5 has no setup {other:?}"),
+        }
+    }
+
+    fn run_traced(
+        &self,
+        trial: &Trial,
+        opts: &TraceOptions,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>) {
+        let sink = RecordingSink::new(0).with_layer_filter(opts.filter.clone());
+        match trial.setup.as_str() {
+            "masters" => run_masters(trial, sink),
+            "masters_per_zone" => run_masters_per_zone(trial, sink),
+            "branches" => run_branches(trial, sink),
+            // "zones" runs no simulator — nothing to trace.
+            _ => (self.run(trial), None),
         }
     }
 
@@ -177,12 +194,12 @@ fn run_zones(trial: &Trial) -> TrialReport {
 }
 
 /// 5b: masters-per-node distribution for many trees on one zone.
-fn run_masters(trial: &Trial) -> TrialReport {
+fn run_masters<S: TraceSink>(trial: &Trial, sink: S) -> (TrialReport, Option<Vec<TraceRecord>>) {
     let seed = trial.seed;
     let trees = trial.get("trees");
     let topology = eua_topology(trial.get_usize("n"), seed + 1);
     let n = topology.len(); // Region rounding can add a few nodes.
-    let mut sim = echo_overlay(topology, seed + 1, 16);
+    let mut sim = echo_overlay_sink(topology, seed + 1, 16, sink);
     let members: Vec<usize> = (0..n).collect();
     // Each tree gets a random subset of subscribers (64 each) — creating a
     // tree only requires joins, so this scales to 500 trees comfortably.
@@ -223,11 +240,15 @@ fn run_masters(trial: &Trial) -> TrialReport {
             masters.iter().filter(|&&m| m == k).count().to_string(),
         ]);
     }
-    report
+    let records = sim.sink_mut().drain_records();
+    (report, records)
 }
 
 /// 5c: masters per zone with workload proportional to zone density.
-fn run_masters_per_zone(trial: &Trial) -> TrialReport {
+fn run_masters_per_zone<S: TraceSink>(
+    trial: &Trial,
+    sink: S,
+) -> (TrialReport, Option<Vec<TraceRecord>>) {
     let seed = trial.seed;
     let topology = eua_topology(1_200, seed + 2);
     let mut rng = sub_rng(seed + 2, "binning");
@@ -240,7 +261,7 @@ fn run_masters_per_zone(trial: &Trial) -> TrialReport {
         },
         &mut rng,
     );
-    let mut sim = echo_overlay(topology, seed + 2, 16);
+    let mut sim = echo_overlay_sink(topology, seed + 2, 16, sink);
 
     // Dense zones submit proportionally more applications.
     let sizes = zones.zone_sizes();
@@ -282,15 +303,16 @@ fn run_masters_per_zone(trial: &Trial) -> TrialReport {
             masters_here.to_string(),
         ]);
     }
-    report
+    let records = sim.sink_mut().drain_records();
+    (report, records)
 }
 
 /// 5d: branch distribution of 17 fanout-8 trees.
-fn run_branches(trial: &Trial) -> TrialReport {
+fn run_branches<S: TraceSink>(trial: &Trial, sink: S) -> (TrialReport, Option<Vec<TraceRecord>>) {
     let seed = trial.seed;
     let topology = eua_topology(1_946, seed + 3); // The paper's node count.
     let n = topology.len();
-    let mut sim = echo_overlay(topology, seed + 3, 8);
+    let mut sim = echo_overlay_sink(topology, seed + 3, 8, sink);
     let mut rng = sub_rng(seed + 3, "members");
     let members: Vec<usize> = (0..n).collect();
     let mut topics = Vec::new();
@@ -331,5 +353,6 @@ fn run_branches(trial: &Trial) -> TrialReport {
     report.push_metric("fwd_mean", s.mean);
     report.push_metric("fwd_sd", s.sd);
     report.push_metric("fwd_max", s.max);
-    report
+    let records = sim.sink_mut().drain_records();
+    (report, records)
 }

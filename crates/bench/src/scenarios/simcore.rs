@@ -9,7 +9,10 @@
 //! the trend — see DESIGN.md § "Simulator performance".
 //!
 //! Run with `--jobs 1` (the default): timing trials concurrently on one
-//! machine would measure contention, not the event loop.
+//! machine would measure contention, not the event loop. Each workload is
+//! timed `--reps N` times (default 3) and the fastest repetition reported,
+//! so guard comparisons against the committed baseline survive background
+//! load on the measuring machine.
 
 use std::time::Instant;
 
@@ -66,10 +69,28 @@ fn sizes(mode: &str) -> Sizes {
     }
 }
 
-fn timed(f: impl FnOnce() -> u64) -> (u64, f64) {
-    let start = Instant::now();
-    let events = f();
-    (events, start.elapsed().as_secs_f64() * 1_000.0)
+/// Times `f` `reps` times and keeps the fastest repetition: wall-clock
+/// minima are far more stable than single samples on a shared machine,
+/// which is what lets the simcore guard hold a tight tolerance. The event
+/// count must not vary across repetitions (the workloads are
+/// deterministic) and is asserted not to.
+fn timed(reps: u64, mut f: impl FnMut() -> u64) -> (u64, f64) {
+    let mut best: Option<(u64, f64)> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let events = f();
+        let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        match &mut best {
+            Some((prev_events, prev_wall)) => {
+                assert_eq!(events, *prev_events, "workload event count must be stable");
+                if wall_ms < *prev_wall {
+                    *prev_wall = wall_ms;
+                }
+            }
+            None => best = Some((events, wall_ms)),
+        }
+    }
+    best.expect("at least one repetition")
 }
 
 impl Scenario for Simcore {
@@ -84,6 +105,7 @@ impl Scenario for Simcore {
     fn trials(&self, params: &Params) -> Vec<Trial> {
         let mode = params.extra_str("mode", "full");
         let m = u64::from(mode == "smoke");
+        let reps: u64 = params.extra_str("reps", "3").parse().unwrap_or(3);
         Trial::seal(
             [
                 "event_churn",
@@ -92,7 +114,11 @@ impl Scenario for Simcore {
                 "timer_storm",
             ]
             .iter()
-            .map(|w| Trial::new(w, params.seed).with("smoke", m))
+            .map(|w| {
+                Trial::new(w, params.seed)
+                    .with("smoke", m)
+                    .with("reps", reps)
+            })
             .collect(),
         )
     }
@@ -103,18 +129,21 @@ impl Scenario for Simcore {
         } else {
             "full"
         });
+        let reps = trial.get("reps").max(1);
         let mut report = TrialReport::for_trial(trial);
         let (events, wall_ms) = match trial.setup.as_str() {
-            "event_churn" => timed(|| run_event_churn(s.churn_nodes, s.churn_tokens, s.churn_hops)),
-            "multicast_clone" => {
-                timed(|| run_multicast(s.mc_nodes, s.mc_fanout, s.mc_weights, s.mc_rounds, false))
-            }
-            "multicast_shared" => {
-                timed(|| run_multicast(s.mc_nodes, s.mc_fanout, s.mc_weights, s.mc_rounds, true))
-            }
-            "timer_storm" => {
-                timed(|| run_timer_storm(s.timer_nodes, s.timer_timers, s.timer_refires))
-            }
+            "event_churn" => timed(reps, || {
+                run_event_churn(s.churn_nodes, s.churn_tokens, s.churn_hops)
+            }),
+            "multicast_clone" => timed(reps, || {
+                run_multicast(s.mc_nodes, s.mc_fanout, s.mc_weights, s.mc_rounds, false)
+            }),
+            "multicast_shared" => timed(reps, || {
+                run_multicast(s.mc_nodes, s.mc_fanout, s.mc_weights, s.mc_rounds, true)
+            }),
+            "timer_storm" => timed(reps, || {
+                run_timer_storm(s.timer_nodes, s.timer_timers, s.timer_refires)
+            }),
             other => panic!("unknown simcore workload {other:?}"),
         };
         report.push_metric("events", events as f64);

@@ -5,12 +5,13 @@ use std::sync::Arc;
 
 use totoro::{FlAppConfig, TotoroDeployment};
 use totoro_baselines::AppSpec;
-use totoro_dht::{app_id, spawn_overlay, DhtConfig, Id};
+use totoro_dht::{app_id, spawn_overlay_with_sink, DhtConfig, Id};
 use totoro_ml::{femnist_like, speech_commands_like, TaskGenerator, TaskSpec};
 use totoro_pubsub::{Forest, ForestApi, ForestApp, ForestConfig, ForestNode, TreeData};
 use totoro_simnet::geo::{eua_regions_scaled, generate};
 use totoro_simnet::{
-    sub_rng, LatencyModel, NodeIdx, Payload, SimDuration, SimTime, Simulator, Topology,
+    sub_rng, LatencyModel, NodeIdx, NoopSink, Payload, SimDuration, SimTime, Simulator, Topology,
+    TraceSink,
 };
 
 /// Continental-scale geographic latency model used across experiments.
@@ -195,17 +196,28 @@ impl ForestApp for EchoApp {
     }
 }
 
-/// An overlay of `EchoApp` nodes.
-pub type EchoSim = Simulator<ForestNode<EchoApp>>;
+/// An overlay of `EchoApp` nodes, generic over the installed trace sink
+/// (defaulting to the zero-cost [`NoopSink`]).
+pub type EchoSim<S = NoopSink> = Simulator<ForestNode<EchoApp>, S>;
 
 /// Spawns an echo overlay over `topology` with tree fanout `fanout`.
 pub fn echo_overlay(topology: Topology, seed: u64, fanout: usize) -> EchoSim {
+    echo_overlay_sink(topology, seed, fanout, NoopSink)
+}
+
+/// [`echo_overlay`] with an explicit trace sink installed.
+pub fn echo_overlay_sink<S: TraceSink>(
+    topology: Topology,
+    seed: u64,
+    fanout: usize,
+    sink: S,
+) -> EchoSim<S> {
     let fconfig = ForestConfig {
         fanout_cap: fanout,
         agg_timeout: SimDuration::from_secs(120),
         ..ForestConfig::default()
     };
-    echo_overlay_with(topology, seed, fanout, fconfig)
+    echo_overlay_with_sink(topology, seed, fanout, fconfig, sink)
 }
 
 /// [`echo_overlay`] with an explicit forest configuration.
@@ -215,14 +227,35 @@ pub fn echo_overlay_with(
     fanout: usize,
     fconfig: ForestConfig,
 ) -> EchoSim {
-    let (sim, _ids) = spawn_overlay(topology, seed, DhtConfig::with_fanout(fanout), None, |_i| {
-        Forest::new(EchoApp::default(), fconfig)
-    });
+    echo_overlay_with_sink(topology, seed, fanout, fconfig, NoopSink)
+}
+
+/// [`echo_overlay_with`] with an explicit trace sink installed.
+pub fn echo_overlay_with_sink<S: TraceSink>(
+    topology: Topology,
+    seed: u64,
+    fanout: usize,
+    fconfig: ForestConfig,
+    sink: S,
+) -> EchoSim<S> {
+    let (sim, _ids) = spawn_overlay_with_sink(
+        topology,
+        seed,
+        DhtConfig::with_fanout(fanout),
+        None,
+        sink,
+        |_i| Forest::new(EchoApp::default(), fconfig),
+    );
     sim
 }
 
 /// Subscribes `members` to `topic` and runs until `settle`.
-pub fn build_tree(sim: &mut EchoSim, topic: Id, members: &[NodeIdx], settle: SimTime) {
+pub fn build_tree<S: TraceSink>(
+    sim: &mut EchoSim<S>,
+    topic: Id,
+    members: &[NodeIdx],
+    settle: SimTime,
+) {
     for &m in members {
         sim.with_app(m, |node, ctx| {
             node.with_api(ctx, |forest, dht| {
@@ -234,7 +267,7 @@ pub fn build_tree(sim: &mut EchoSim, topic: Id, members: &[NodeIdx], settle: Sim
 }
 
 /// The current root of `topic`, if any.
-pub fn root_of(sim: &EchoSim, topic: Id) -> Option<NodeIdx> {
+pub fn root_of<S: TraceSink>(sim: &EchoSim<S>, topic: Id) -> Option<NodeIdx> {
     (0..sim.len()).find(|&i| {
         sim.app(i)
             .upper
@@ -245,7 +278,12 @@ pub fn root_of(sim: &EchoSim, topic: Id) -> Option<NodeIdx> {
 }
 
 /// Broadcasts one blob of `bytes` on `topic` (round `round`) from the root.
-pub fn broadcast_from_root(sim: &mut EchoSim, topic: Id, round: u64, bytes: usize) {
+pub fn broadcast_from_root<S: TraceSink>(
+    sim: &mut EchoSim<S>,
+    topic: Id,
+    round: u64,
+    bytes: usize,
+) {
     let root = root_of(sim, topic).expect("tree has a root");
     sim.with_app(root, |node, ctx| {
         node.with_api(ctx, |forest, dht| {

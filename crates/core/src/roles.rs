@@ -6,10 +6,13 @@
 
 use totoro_dht::Id;
 use totoro_pubsub::{Forest, ForestApp, ForestNode};
-use totoro_simnet::Simulator;
+use totoro_simnet::{Simulator, TraceSink};
 
 /// How many of `topics`' trees are rooted at each node (Figure 5b).
-pub fn masters_per_node<F: ForestApp>(sim: &Simulator<ForestNode<F>>, topics: &[Id]) -> Vec<usize> {
+pub fn masters_per_node<F: ForestApp, S: TraceSink>(
+    sim: &Simulator<ForestNode<F>, S>,
+    topics: &[Id],
+) -> Vec<usize> {
     let mut counts = vec![0usize; sim.len()];
     for (i, count) in counts.iter_mut().enumerate() {
         let forest: &Forest<F> = &sim.app(i).upper;
@@ -23,7 +26,10 @@ pub fn masters_per_node<F: ForestApp>(sim: &Simulator<ForestNode<F>>, topics: &[
 
 /// Per-depth node counts of one tree (Figure 5d's branch distribution):
 /// `result[d]` = number of attached nodes at depth `d` (root = depth 0).
-pub fn level_census<F: ForestApp>(sim: &Simulator<ForestNode<F>>, topic: Id) -> Vec<usize> {
+pub fn level_census<F: ForestApp, S: TraceSink>(
+    sim: &Simulator<ForestNode<F>, S>,
+    topic: Id,
+) -> Vec<usize> {
     let mut by_depth: Vec<usize> = Vec::new();
     for i in 0..sim.len() {
         let forest: &Forest<F> = &sim.app(i).upper;
@@ -53,7 +59,10 @@ pub struct RoleCount {
 }
 
 /// Role counts for every node over `topics`.
-pub fn role_census<F: ForestApp>(sim: &Simulator<ForestNode<F>>, topics: &[Id]) -> Vec<RoleCount> {
+pub fn role_census<F: ForestApp, S: TraceSink>(
+    sim: &Simulator<ForestNode<F>, S>,
+    topics: &[Id],
+) -> Vec<RoleCount> {
     (0..sim.len())
         .map(|i| {
             let forest: &Forest<F> = &sim.app(i).upper;

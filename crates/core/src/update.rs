@@ -69,6 +69,18 @@ impl Payload for FlData {
     fn size_bytes(&self) -> usize {
         self.wire + 16
     }
+
+    fn layer(&self) -> &'static str {
+        "fl"
+    }
+
+    fn kind(&self) -> &'static str {
+        if self.is_model() {
+            "model"
+        } else {
+            "update"
+        }
+    }
 }
 
 impl TreeData for FlData {

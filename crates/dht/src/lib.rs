@@ -35,7 +35,7 @@ pub use node::{
 };
 pub use oracle::{
     build_states, build_states_with_proximity, ids_for_zones, implicit_route_hops, random_ids,
-    spawn_overlay,
+    spawn_overlay, spawn_overlay_with_sink,
 };
 pub use routing::{next_hop, next_hop_in_zone, NextHop};
 pub use state::{DhtConfig, DhtState};

@@ -105,6 +105,28 @@ impl<P: Payload> Payload for DhtMsg<P> {
             DhtMsg::Direct { payload } => HEADER_BYTES + payload.size_bytes(),
         }
     }
+
+    // Control traffic is DHT-layer; routed/direct envelopes tag as the
+    // wrapped upper-layer payload, which is the interesting message.
+    fn layer(&self) -> &'static str {
+        match self {
+            DhtMsg::Route { payload, .. } => payload.layer(),
+            DhtMsg::Direct { payload } => payload.layer(),
+            _ => "dht",
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            DhtMsg::Join { .. } => "join",
+            DhtMsg::JoinReply { .. } => "join_reply",
+            DhtMsg::Announce { .. } => "announce",
+            DhtMsg::Heartbeat { .. } => "heartbeat",
+            DhtMsg::LeafExchange { .. } => "leaf_exchange",
+            DhtMsg::Route { payload, .. } => payload.kind(),
+            DhtMsg::Direct { payload } => payload.kind(),
+        }
+    }
 }
 
 /// Counters exposed for the evaluation harness.

@@ -234,8 +234,32 @@ pub fn spawn_overlay<U: crate::node::UpperLayer>(
     seed: u64,
     config: DhtConfig,
     ids: Option<Vec<Id>>,
-    mut mk_upper: impl FnMut(usize) -> U,
+    mk_upper: impl FnMut(usize) -> U,
 ) -> (totoro_simnet::Simulator<crate::node::DhtNode<U>>, Vec<Id>) {
+    spawn_overlay_with_sink(
+        topology,
+        seed,
+        config,
+        ids,
+        totoro_simnet::NoopSink,
+        mk_upper,
+    )
+}
+
+/// [`spawn_overlay`] with an explicit trace sink installed on the simulator
+/// (observability runs; the default [`totoro_simnet::NoopSink`] build pays
+/// nothing for this hook).
+pub fn spawn_overlay_with_sink<U: crate::node::UpperLayer, S: totoro_simnet::TraceSink>(
+    topology: totoro_simnet::Topology,
+    seed: u64,
+    config: DhtConfig,
+    ids: Option<Vec<Id>>,
+    sink: S,
+    mut mk_upper: impl FnMut(usize) -> U,
+) -> (
+    totoro_simnet::Simulator<crate::node::DhtNode<U>, S>,
+    Vec<Id>,
+) {
     let n = topology.len();
     let ids = ids.unwrap_or_else(|| {
         let mut rng = totoro_simnet::sub_rng(seed, "overlay-ids");
@@ -248,7 +272,7 @@ pub fn spawn_overlay<U: crate::node::UpperLayer>(
             .map(Some)
             .collect::<Vec<_>>(),
     );
-    let sim = totoro_simnet::Simulator::new(topology, seed, |i| {
+    let sim = totoro_simnet::Simulator::with_sink(topology, seed, sink, |i| {
         let st = states.borrow_mut()[i].take().expect("state built once");
         let mut node = crate::node::DhtNode::new(ids[i], i, config, None, mk_upper(i));
         node.state = st;

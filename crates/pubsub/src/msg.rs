@@ -108,6 +108,42 @@ impl<D: Payload> Payload for TreeMsg<D> {
             TreeMsg::ParentHeartbeat { .. } => TREE_HEADER + 2 + CONTACT_WIRE,
         }
     }
+
+    // Tree control traffic is forest-layer; data-bearing rounds tag as the
+    // carried data's layer when it declares one (FL rounds show as "fl").
+    fn layer(&self) -> &'static str {
+        match self {
+            TreeMsg::Broadcast { data, .. } => {
+                let l = data.layer();
+                if l.is_empty() {
+                    "forest"
+                } else {
+                    l
+                }
+            }
+            TreeMsg::AggregateUp { data, .. } => {
+                let l = data.layer();
+                if l.is_empty() {
+                    "forest"
+                } else {
+                    l
+                }
+            }
+            _ => "forest",
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            TreeMsg::Join { .. } => "join",
+            TreeMsg::JoinAck { .. } => "join_ack",
+            TreeMsg::Leave { .. } => "leave",
+            TreeMsg::Broadcast { .. } => "broadcast",
+            TreeMsg::AggregateUp { .. } => "aggregate_up",
+            TreeMsg::Abstain { .. } => "abstain",
+            TreeMsg::ParentHeartbeat { .. } => "parent_heartbeat",
+        }
+    }
 }
 
 #[cfg(test)]

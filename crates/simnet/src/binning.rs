@@ -115,6 +115,15 @@ pub struct ZoneSummary {
     pub largest: usize,
 }
 
+/// Quantizes `value` against ascending `boundaries`: the returned level is
+/// the number of boundaries strictly below `value`, so `k` boundaries give
+/// levels `0..=k`. This is the binning scheme's RTT quantization, shared
+/// with the observability layer's fixed-bin histograms
+/// ([`crate::obs::Histogram`]).
+pub fn level_of(boundaries: &[u64], value: u64) -> usize {
+    boundaries.iter().filter(|&&b| value > b).count()
+}
+
 /// Computes a node's binning signature from its RTTs to the landmarks.
 pub fn signature(
     topology: &Topology,
@@ -131,7 +140,7 @@ pub fn signature(
     let ordering: Vec<u8> = rtts.iter().map(|&(li, _)| li).collect();
     let levels: Vec<u8> = rtts
         .iter()
-        .map(|&(_, rtt)| boundaries_us.iter().filter(|&&b| rtt > b).count() as u8)
+        .map(|&(_, rtt)| level_of(boundaries_us, rtt) as u8)
         .collect();
     BinSignature { ordering, levels }
 }

@@ -219,7 +219,11 @@ impl FaultPlan {
 
     /// Installs the whole plan on `sim`: the fault injector (seeded from
     /// `seed`) plus the churn schedule's down/up events.
-    pub fn apply<A: Application>(&self, sim: &mut Simulator<A>, seed: u64) {
+    pub fn apply<A: Application, S: crate::obs::TraceSink>(
+        &self,
+        sim: &mut Simulator<A, S>,
+        seed: u64,
+    ) {
         sim.install_chaos(self.injector(seed));
         self.churn.apply(sim);
     }
@@ -360,7 +364,7 @@ pub struct Violation {
 /// Implementations may keep state across checkpoints (e.g. "coverage held
 /// at the previous checkpoint, so repair traffic must have stopped"), which
 /// is why `check` takes `&mut self`.
-pub trait Invariant<A: Application> {
+pub trait Invariant<A: Application, S: crate::obs::TraceSink = crate::obs::NoopSink> {
     /// Short stable name, used in violation reports.
     fn name(&self) -> &'static str;
 
@@ -371,7 +375,7 @@ pub trait Invariant<A: Application> {
 
     /// Checks the invariant against the current simulator state, returning
     /// a human-readable description of the violation if it does not hold.
-    fn check(&mut self, sim: &Simulator<A>) -> Result<(), String>;
+    fn check(&mut self, sim: &Simulator<A, S>) -> Result<(), String>;
 }
 
 /// Checkpoint schedule for [`run_with_invariants`].
@@ -393,11 +397,11 @@ pub struct CheckpointConfig {
 /// Each invariant records at most its *first* violation — after firing it
 /// is retired, so a persistent breakage yields one report, not hundreds.
 /// Returns all recorded violations in checkpoint order.
-pub fn run_with_invariants<A: Application>(
-    sim: &mut Simulator<A>,
+pub fn run_with_invariants<A: Application, S: crate::obs::TraceSink>(
+    sim: &mut Simulator<A, S>,
     cfg: &CheckpointConfig,
-    invariants: &mut [Box<dyn Invariant<A> + '_>],
-    mut driver: impl FnMut(&mut Simulator<A>),
+    invariants: &mut [Box<dyn Invariant<A, S> + '_>],
+    mut driver: impl FnMut(&mut Simulator<A, S>),
 ) -> Vec<Violation> {
     let mut violations = Vec::new();
     let mut tripped = vec![false; invariants.len()];

@@ -139,7 +139,10 @@ impl ChurnSchedule {
     }
 
     /// Applies the schedule to a simulator.
-    pub fn apply<A: crate::sim::Application>(&self, sim: &mut crate::sim::Simulator<A>) {
+    pub fn apply<A: crate::sim::Application, S: crate::obs::TraceSink>(
+        &self,
+        sim: &mut crate::sim::Simulator<A, S>,
+    ) {
         for e in &self.events {
             if e.down {
                 sim.schedule_down(e.node, e.at);

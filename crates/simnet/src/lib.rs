@@ -22,6 +22,7 @@ pub mod binning;
 pub mod chaos;
 pub mod churn;
 pub mod geo;
+pub mod obs;
 pub mod payload;
 pub mod rng;
 pub mod sim;
@@ -37,6 +38,11 @@ pub use chaos::{
 };
 pub use churn::{ChurnEvent, ChurnSchedule};
 pub use geo::{GeoPoint, PlacedNode, Region};
+pub use obs::{
+    chrome_trace, chrome_trace_multi, jsonl_trace, jsonl_trace_multi, last_trace_before,
+    span_records, span_report, spans, CountingSink, DropReason, Histogram, MetricsRegistry,
+    MetricsSnapshot, MsgMeta, NoopSink, RecordingSink, TraceBody, TraceRecord, TraceSink,
+};
 pub use payload::Shared;
 pub use rng::{derive_seed, sub_rng};
 pub use sim::{Application, ComputeKind, Ctx, Payload, Simulator};

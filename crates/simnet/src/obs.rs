@@ -1,0 +1,978 @@
+//! Deterministic observability: structured trace records, per-layer
+//! metrics, and causal message-path spans.
+//!
+//! The simulator is generic over a [`TraceSink`] installed at construction
+//! time. The default sink is [`NoopSink`], whose `ENABLED` constant is
+//! `false`: every record-emission site in the hot path is gated on that
+//! associated constant, so with the default sink the compiler removes the
+//! observability code entirely and the event loop is byte- and
+//! cycle-identical to an untraced build. Installing a [`RecordingSink`]
+//! turns on:
+//!
+//! * **Structured records** ([`TraceRecord`]) for message send / deliver /
+//!   drop, timer fires, node churn, compute charges, and chaos-atom
+//!   effects, emitted in event-dispatch order — which is `(sim_time, seq)`
+//!   order, so a trace for a fixed `(scenario, seed)` is byte-identical
+//!   regardless of how many worker threads run *other* trials.
+//! * **A metrics registry** ([`MetricsRegistry`]): per-layer counters,
+//!   per-layer per-node counters, and fixed-bin histograms quantized with
+//!   the same boundary scheme as [`crate::binning`] (see
+//!   [`crate::binning::level_of`]). Snapshots serialize deterministically
+//!   and merge by summation.
+//! * **Causal spans**: every message carries a [`MsgMeta`] — a trace id
+//!   plus a parent message id — assigned by the simulator. A send issued
+//!   while handling a delivered message inherits that message's trace and
+//!   becomes its child; a send issued from a timer, node start, or driver
+//!   injection roots a fresh trace. A DHT route, a forest JOIN path, or an
+//!   aggregation round can therefore be reconstructed hop-by-hop with
+//!   [`span_records`] and exported to Chrome `trace_event` JSON
+//!   ([`chrome_trace`]) or JSONL ([`jsonl_trace`]).
+
+use std::collections::BTreeMap;
+
+use crate::binning::level_of;
+use crate::topology::NodeIdx;
+
+/// Sentinel parent id marking the first message of a span.
+pub const ROOT_PARENT: u64 = u64::MAX;
+
+/// Causal identity of one in-flight message.
+///
+/// Assigned by the simulator on every send when tracing is enabled; with a
+/// [`NoopSink`] every message carries [`MsgMeta::NONE`] and no ids are
+/// computed. Ids are per-simulator counters starting at 1, so `0` never
+/// names a real message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgMeta {
+    /// Id of the span's root message (a root message's `trace` is its own
+    /// `id`).
+    pub trace: u64,
+    /// This message's unique id.
+    pub id: u64,
+    /// Id of the delivered message whose handler issued this send, or
+    /// [`ROOT_PARENT`] for a span root.
+    pub parent: u64,
+    /// Causal depth: 0 for a span root, parent's hop + 1 otherwise.
+    pub hop: u16,
+}
+
+impl MsgMeta {
+    /// The "untraced" meta carried by every message under a [`NoopSink`].
+    pub const NONE: MsgMeta = MsgMeta {
+        trace: 0,
+        id: 0,
+        parent: 0,
+        hop: 0,
+    };
+
+    /// Whether this meta names a real traced message.
+    pub fn is_traced(&self) -> bool {
+        self.id != 0
+    }
+}
+
+/// Why a message never reached its destination's handler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The topology's stochastic (UDP-like) loss model ate it.
+    Loss,
+    /// The destination was down when it arrived (TCP-RST-like).
+    DeadDest,
+    /// A chaos fault (loss spike or partition) dropped it at send time.
+    Chaos,
+    /// The installed protocol-aware fault filter dropped it at send time.
+    Filter,
+}
+
+impl DropReason {
+    /// Stable lower-case name used in serialized traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DropReason::Loss => "loss",
+            DropReason::DeadDest => "dead_dest",
+            DropReason::Chaos => "chaos",
+            DropReason::Filter => "filter",
+        }
+    }
+}
+
+/// What one trace record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceBody {
+    /// `node` put a message on the wire toward `to`.
+    Send {
+        /// Destination node.
+        to: NodeIdx,
+        /// Serialized message size.
+        bytes: usize,
+        /// Causal identity of the message.
+        meta: MsgMeta,
+        /// Scheduled arrival time in microseconds.
+        arrive_at_us: u64,
+    },
+    /// A message from `from` was delivered to `node`'s handler.
+    Deliver {
+        /// Source node.
+        from: NodeIdx,
+        /// Serialized message size.
+        bytes: usize,
+        /// Causal identity of the message.
+        meta: MsgMeta,
+    },
+    /// A message died before reaching a handler.
+    Drop {
+        /// Intended destination.
+        to: NodeIdx,
+        /// Serialized message size.
+        bytes: usize,
+        /// Why it died.
+        reason: DropReason,
+        /// Causal identity of the message.
+        meta: MsgMeta,
+    },
+    /// A chaos atom acted on a message without dropping it.
+    ChaosEffect {
+        /// Destination of the affected message.
+        to: NodeIdx,
+        /// `"duplicate"` or `"delay"`.
+        effect: &'static str,
+    },
+    /// A timer armed by `node` fired with `token`.
+    TimerFire {
+        /// The timer's token.
+        token: u64,
+    },
+    /// Churn took `node` down.
+    NodeDown,
+    /// Churn brought `node` back up.
+    NodeUp,
+    /// `node` charged simulated CPU time.
+    Compute {
+        /// `"fl"` or `"dht"`.
+        task: &'static str,
+        /// Charged microseconds.
+        us: u64,
+    },
+}
+
+/// One structured observability record.
+///
+/// Records are emitted in event-dispatch order; their position in the
+/// sink's buffer is the deterministic `(sim_time, seq)` total order the
+/// determinism contract pins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the record in microseconds.
+    pub at_us: u64,
+    /// The node the record is about (sender, receiver, timer owner, ...).
+    pub node: NodeIdx,
+    /// Protocol layer tag from [`crate::sim::Payload::layer`] (`"sim"` for
+    /// simulator-level records like timers and churn).
+    pub layer: &'static str,
+    /// Message kind from [`crate::sim::Payload::kind`], or the event name.
+    pub kind: &'static str,
+    /// What happened.
+    pub body: TraceBody,
+}
+
+impl TraceRecord {
+    /// The causal meta of this record, if it is about a traced message.
+    pub fn meta(&self) -> Option<MsgMeta> {
+        match self.body {
+            TraceBody::Send { meta, .. }
+            | TraceBody::Deliver { meta, .. }
+            | TraceBody::Drop { meta, .. } => Some(meta),
+            _ => None,
+        }
+    }
+
+    /// Deterministic single-line JSON rendering (fixed key order).
+    pub fn to_json(&self) -> String {
+        let head = format!(
+            "{{\"at_us\":{},\"node\":{},\"layer\":\"{}\",\"kind\":\"{}\"",
+            self.at_us, self.node, self.layer, self.kind
+        );
+        let body = match self.body {
+            TraceBody::Send {
+                to,
+                bytes,
+                meta,
+                arrive_at_us,
+            } => format!(
+                ",\"ev\":\"send\",\"to\":{to},\"bytes\":{bytes},\"arrive_at_us\":{arrive_at_us}{}",
+                meta_json(meta)
+            ),
+            TraceBody::Deliver { from, bytes, meta } => format!(
+                ",\"ev\":\"deliver\",\"from\":{from},\"bytes\":{bytes}{}",
+                meta_json(meta)
+            ),
+            TraceBody::Drop {
+                to,
+                bytes,
+                reason,
+                meta,
+            } => format!(
+                ",\"ev\":\"drop\",\"to\":{to},\"bytes\":{bytes},\"reason\":\"{}\"{}",
+                reason.name(),
+                meta_json(meta)
+            ),
+            TraceBody::ChaosEffect { to, effect } => {
+                format!(",\"ev\":\"chaos\",\"to\":{to},\"effect\":\"{effect}\"")
+            }
+            TraceBody::TimerFire { token } => format!(",\"ev\":\"timer\",\"token\":{token}"),
+            TraceBody::NodeDown => ",\"ev\":\"down\"".to_string(),
+            TraceBody::NodeUp => ",\"ev\":\"up\"".to_string(),
+            TraceBody::Compute { task, us } => {
+                format!(",\"ev\":\"compute\",\"task\":\"{task}\",\"us\":{us}")
+            }
+        };
+        format!("{head}{body}}}")
+    }
+}
+
+fn meta_json(meta: MsgMeta) -> String {
+    if !meta.is_traced() {
+        return String::new();
+    }
+    let parent = if meta.parent == ROOT_PARENT {
+        "null".to_string()
+    } else {
+        meta.parent.to_string()
+    };
+    format!(
+        ",\"trace\":{},\"id\":{},\"parent\":{},\"hop\":{}",
+        meta.trace, meta.id, parent, meta.hop
+    )
+}
+
+/// Receiver of trace records, installed on the simulator at construction.
+///
+/// `ENABLED` is an associated *constant* so that every emission site — and
+/// all the meta/size computation feeding it — folds away statically for
+/// [`NoopSink`]. Implementations must be cheap: `record` runs inside the
+/// event loop.
+pub trait TraceSink {
+    /// Whether the simulator should compute and emit records at all.
+    const ENABLED: bool = true;
+
+    /// Receives one record. Called in deterministic dispatch order.
+    fn record(&mut self, rec: TraceRecord);
+
+    /// A metrics snapshot for trial reports, if this sink aggregates one.
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        None
+    }
+
+    /// Takes the buffered records out of the sink, if it buffers any.
+    /// Lets sink-generic experiment code recover a trace without knowing
+    /// the concrete sink type.
+    fn drain_records(&mut self) -> Option<Vec<TraceRecord>> {
+        None
+    }
+}
+
+/// The default sink: tracing off, statically removed from the hot path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _rec: TraceRecord) {}
+}
+
+/// A sink that only counts calls — the zero-allocation probe used to test
+/// that record emission sites fire (and that [`NoopSink`] elides them).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CountingSink {
+    /// Number of records received.
+    pub records: u64,
+}
+
+impl TraceSink for CountingSink {
+    #[inline(always)]
+    fn record(&mut self, _rec: TraceRecord) {
+        self.records += 1;
+    }
+}
+
+/// Message-size histogram boundaries (bytes): control / small / MTU-ish /
+/// bulk / huge.
+const SIZE_BOUNDS: &[u64] = &[64, 256, 1_460, 65_536];
+/// Causal-hop histogram boundaries.
+const HOP_BOUNDS: &[u64] = &[1, 2, 4, 8, 16];
+
+/// The full-capture sink: buffers every record and aggregates a
+/// [`MetricsRegistry`] as records arrive.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    records: Vec<TraceRecord>,
+    metrics: MetricsRegistry,
+    filter: Option<String>,
+    nodes: usize,
+}
+
+impl RecordingSink {
+    /// A sink for a simulation of `nodes` nodes (sizes per-node counters).
+    pub fn new(nodes: usize) -> Self {
+        RecordingSink {
+            records: Vec::new(),
+            metrics: MetricsRegistry::default(),
+            filter: None,
+            nodes,
+        }
+    }
+
+    /// Restricts *buffered* records to one layer tag. Metrics still
+    /// aggregate over every layer, so a filtered trace keeps its full
+    /// registry snapshot.
+    pub fn with_layer_filter(mut self, layer: Option<String>) -> Self {
+        self.filter = layer;
+        self
+    }
+
+    /// The buffered records, in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Takes the buffered records out of the sink.
+    pub fn take_records(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// The aggregated metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn record(&mut self, rec: TraceRecord) {
+        self.metrics.observe(&rec, self.nodes);
+        if let Some(filter) = &self.filter {
+            if rec.layer != filter.as_str() {
+                return;
+            }
+        }
+        self.records.push(rec);
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(self.metrics.snapshot())
+    }
+
+    fn drain_records(&mut self) -> Option<Vec<TraceRecord>> {
+        Some(self.take_records())
+    }
+}
+
+/// A fixed-bin histogram quantized like [`crate::binning`]: `k` boundaries
+/// produce `k + 1` bins, and a value lands in
+/// [`crate::binning::level_of`]`(bounds, value)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bin boundaries (ascending).
+    pub bounds: Vec<u64>,
+    /// Per-bin observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds`.
+    pub fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[level_of(&self.bounds, value)] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sums another histogram's counts into this one (same bounds).
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.bounds.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        debug_assert_eq!(self.bounds, other.bounds, "merging unlike histograms");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Per-layer counters and histograms keyed by static names.
+///
+/// All maps are `BTreeMap`s so iteration — and therefore serialization —
+/// is deterministically ordered.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    /// `(layer, name)` → count.
+    counters: BTreeMap<(&'static str, &'static str), u64>,
+    /// `(layer, name)` → per-node counts.
+    per_node: BTreeMap<(&'static str, &'static str), Vec<u64>>,
+    /// `(layer, name)` → histogram.
+    histograms: BTreeMap<(&'static str, &'static str), Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Adds `by` to counter `(layer, name)`.
+    pub fn add(&mut self, layer: &'static str, name: &'static str, by: u64) {
+        *self.counters.entry((layer, name)).or_insert(0) += by;
+    }
+
+    /// Adds `by` to per-node counter `(layer, name)` for `node`.
+    pub fn add_node(
+        &mut self,
+        layer: &'static str,
+        name: &'static str,
+        node: NodeIdx,
+        nodes: usize,
+        by: u64,
+    ) {
+        let v = self
+            .per_node
+            .entry((layer, name))
+            .or_insert_with(|| vec![0; nodes.max(node + 1)]);
+        if v.len() <= node {
+            v.resize(node + 1, 0);
+        }
+        v[node] += by;
+    }
+
+    /// Records `value` in histogram `(layer, name)` over `bounds`.
+    pub fn observe_hist(
+        &mut self,
+        layer: &'static str,
+        name: &'static str,
+        bounds: &[u64],
+        value: u64,
+    ) {
+        self.histograms
+            .entry((layer, name))
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Counter `(layer, name)`, zero if never touched.
+    pub fn counter(&self, layer: &str, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|((l, n), _)| *l == layer && *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Folds one record into the registry.
+    pub fn observe(&mut self, rec: &TraceRecord, nodes: usize) {
+        match rec.body {
+            TraceBody::Send { bytes, meta, .. } => {
+                self.add(rec.layer, "sends", 1);
+                self.add(rec.layer, "send_bytes", bytes as u64);
+                self.add_node(rec.layer, "node_sends", rec.node, nodes, 1);
+                self.observe_hist(rec.layer, "send_bytes_hist", SIZE_BOUNDS, bytes as u64);
+                if meta.is_traced() {
+                    self.observe_hist(rec.layer, "causal_hops", HOP_BOUNDS, u64::from(meta.hop));
+                }
+            }
+            TraceBody::Deliver { bytes, .. } => {
+                self.add(rec.layer, "delivers", 1);
+                self.add(rec.layer, "deliver_bytes", bytes as u64);
+                self.add_node(rec.layer, "node_delivers", rec.node, nodes, 1);
+            }
+            TraceBody::Drop { reason, .. } => {
+                self.add(rec.layer, "drops", 1);
+                let name = match reason {
+                    DropReason::Loss => "drops_loss",
+                    DropReason::DeadDest => "drops_dead",
+                    DropReason::Chaos => "drops_chaos",
+                    DropReason::Filter => "drops_filter",
+                };
+                self.add(rec.layer, name, 1);
+            }
+            TraceBody::ChaosEffect { effect, .. } => {
+                let name = match effect {
+                    "duplicate" => "chaos_duplicates",
+                    _ => "chaos_delays",
+                };
+                self.add(rec.layer, name, 1);
+            }
+            TraceBody::TimerFire { .. } => self.add(rec.layer, "timer_fires", 1),
+            TraceBody::NodeDown => self.add(rec.layer, "node_downs", 1),
+            TraceBody::NodeUp => self.add(rec.layer, "node_ups", 1),
+            TraceBody::Compute { task, us } => {
+                let name = match task {
+                    "fl" => "compute_fl_us",
+                    _ => "compute_dht_us",
+                };
+                self.add(rec.layer, name, us);
+            }
+        }
+    }
+
+    /// A plain-value snapshot for embedding in trial reports.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&(l, n), &v)| (format!("{l}.{n}"), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&(l, n), h)| (format!("{l}.{n}"), h.clone()))
+                .collect(),
+            per_node: self
+                .per_node
+                .iter()
+                .map(|(&(l, n), v)| (format!("{l}.{n}"), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A serializable, mergeable snapshot of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `layer.name` → count, sorted by key.
+    pub counters: BTreeMap<String, u64>,
+    /// `layer.name` → histogram, sorted by key.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// `layer.name` → per-node counts, sorted by key.
+    pub per_node: BTreeMap<String, Vec<u64>>,
+}
+
+impl MetricsSnapshot {
+    /// Sums another snapshot into this one.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, v) in &other.per_node {
+            let mine = self.per_node.entry(k.clone()).or_default();
+            if mine.len() < v.len() {
+                mine.resize(v.len(), 0);
+            }
+            for (a, b) in mine.iter_mut().zip(v) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Deterministic JSON rendering: keys in `BTreeMap` order, fixed field
+    /// order, integers only.
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+                let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+                format!(
+                    "\"{k}\":{{\"bounds\":[{}],\"counts\":[{}]}}",
+                    bounds.join(","),
+                    counts.join(",")
+                )
+            })
+            .collect();
+        let per_node: Vec<String> = self
+            .per_node
+            .iter()
+            .map(|(k, v)| {
+                let vals: Vec<String> = v.iter().map(u64::to_string).collect();
+                format!("\"{k}\":[{}]", vals.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"histograms\":{{{}}},\"per_node\":{{{}}}}}",
+            counters.join(","),
+            hists.join(","),
+            per_node.join(",")
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span reconstruction and exporters.
+// ---------------------------------------------------------------------------
+
+/// All records belonging to trace `trace`, in emission order.
+pub fn span_records(records: &[TraceRecord], trace: u64) -> Vec<&TraceRecord> {
+    records
+        .iter()
+        .filter(|r| r.meta().is_some_and(|m| m.trace == trace))
+        .collect()
+}
+
+/// Groups every traced record by its trace id (emission order within each
+/// span preserved).
+pub fn spans(records: &[TraceRecord]) -> BTreeMap<u64, Vec<&TraceRecord>> {
+    let mut out: BTreeMap<u64, Vec<&TraceRecord>> = BTreeMap::new();
+    for r in records {
+        if let Some(m) = r.meta() {
+            out.entry(m.trace).or_default().push(r);
+        }
+    }
+    out
+}
+
+/// The trace id of the last delivered message in `layer` at or before
+/// `at_us` — "what message chain was in flight when the violation fired".
+pub fn last_trace_before(records: &[TraceRecord], layer: &str, at_us: u64) -> Option<u64> {
+    records
+        .iter()
+        .rev()
+        .filter(|r| r.at_us <= at_us && r.layer == layer)
+        .find_map(|r| match r.body {
+            TraceBody::Deliver { meta, .. } if meta.is_traced() => Some(meta.trace),
+            _ => None,
+        })
+}
+
+/// Renders one span as human-readable hop lines (for violation reports and
+/// debugging): one line per record, `+offset_us` relative to the span root.
+pub fn span_report(records: &[TraceRecord], trace: u64) -> Vec<String> {
+    let span = span_records(records, trace);
+    let t0 = span.first().map(|r| r.at_us).unwrap_or(0);
+    span.iter()
+        .map(|r| {
+            let m = r.meta().expect("span records carry meta");
+            let what = match r.body {
+                TraceBody::Send { to, .. } => format!("send {} -> {to}", r.node),
+                TraceBody::Deliver { from, .. } => format!("deliver {from} -> {}", r.node),
+                TraceBody::Drop { to, reason, .. } => {
+                    format!("drop {} -> {to} ({})", r.node, reason.name())
+                }
+                _ => format!("event @{}", r.node),
+            };
+            format!(
+                "+{}us {}/{} {} [msg {} hop {}]",
+                r.at_us - t0,
+                r.layer,
+                r.kind,
+                what,
+                m.id,
+                m.hop
+            )
+        })
+        .collect()
+}
+
+/// Exports records as Chrome `trace_event` JSON (load in `chrome://tracing`
+/// or Perfetto). Each send becomes a complete (`X`) slice on the sender's
+/// track lasting until scheduled arrival; drops, timers, and churn become
+/// instant (`i`) events. Output is deterministic.
+pub fn chrome_trace(records: &[TraceRecord]) -> String {
+    chrome_trace_multi(&[(0, records)])
+}
+
+/// [`chrome_trace`] over several record groups (one per trial); each group
+/// renders as its own `pid` so trials appear as separate processes in the
+/// trace viewer.
+pub fn chrome_trace_multi(groups: &[(u64, &[TraceRecord])]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for &(pid, records) in groups {
+        push_chrome_events(records, pid, &mut events);
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+}
+
+fn push_chrome_events(records: &[TraceRecord], pid: u64, events: &mut Vec<String>) {
+    events.reserve(records.len());
+    for r in records {
+        let name = format!("{}/{}", r.layer, r.kind);
+        match r.body {
+            TraceBody::Send {
+                to,
+                bytes,
+                meta,
+                arrive_at_us,
+            } => {
+                let args = if meta.is_traced() {
+                    format!(
+                        "{{\"to\":{to},\"bytes\":{bytes},\"trace\":{},\"id\":{},\"hop\":{}}}",
+                        meta.trace, meta.id, meta.hop
+                    )
+                } else {
+                    format!("{{\"to\":{to},\"bytes\":{bytes}}}")
+                };
+                events.push(format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{},\"args\":{args}}}",
+                    r.at_us,
+                    arrive_at_us.saturating_sub(r.at_us).max(1),
+                    r.node
+                ));
+            }
+            TraceBody::Deliver { from, bytes, meta } => {
+                let args = if meta.is_traced() {
+                    format!(
+                        "{{\"from\":{from},\"bytes\":{bytes},\"trace\":{},\"id\":{},\"hop\":{}}}",
+                        meta.trace, meta.id, meta.hop
+                    )
+                } else {
+                    format!("{{\"from\":{from},\"bytes\":{bytes}}}")
+                };
+                events.push(format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{pid},\"tid\":{},\"args\":{args}}}",
+                    r.at_us, r.node
+                ));
+            }
+            TraceBody::Drop { to, reason, .. } => {
+                events.push(format!(
+                    "{{\"name\":\"{name} drop:{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{pid},\"tid\":{},\"args\":{{\"to\":{to}}}}}",
+                    reason.name(),
+                    r.at_us,
+                    r.node
+                ));
+            }
+            TraceBody::ChaosEffect { to, effect } => {
+                events.push(format!(
+                    "{{\"name\":\"chaos:{effect}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{pid},\"tid\":{},\"args\":{{\"to\":{to}}}}}",
+                    r.at_us, r.node
+                ));
+            }
+            TraceBody::TimerFire { token } => {
+                events.push(format!(
+                    "{{\"name\":\"timer\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{pid},\"tid\":{},\"args\":{{\"token\":{token}}}}}",
+                    r.at_us, r.node
+                ));
+            }
+            TraceBody::NodeDown | TraceBody::NodeUp => {
+                let what = if matches!(r.body, TraceBody::NodeDown) {
+                    "down"
+                } else {
+                    "up"
+                };
+                events.push(format!(
+                    "{{\"name\":\"node {what}\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{},\"pid\":{pid},\"tid\":{}}}",
+                    r.at_us, r.node
+                ));
+            }
+            TraceBody::Compute { task, us } => {
+                events.push(format!(
+                    "{{\"name\":\"compute:{task}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{}}}",
+                    r.at_us,
+                    us.max(1),
+                    r.node
+                ));
+            }
+        }
+    }
+}
+
+/// Exports records as JSONL: one [`TraceRecord::to_json`] object per line.
+pub fn jsonl_trace(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// [`jsonl_trace`] over several record groups (one per trial); each line
+/// gains a leading `"trial":<index>` key identifying its group.
+pub fn jsonl_trace_multi(groups: &[(u64, &[TraceRecord])]) -> String {
+    let mut out = String::new();
+    for &(pid, records) in groups {
+        for r in records {
+            let json = r.to_json();
+            out.push_str(&format!("{{\"trial\":{pid},{}", &json[1..]));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(at: u64, node: usize, to: usize, meta: MsgMeta) -> TraceRecord {
+        TraceRecord {
+            at_us: at,
+            node,
+            layer: "forest",
+            kind: "join",
+            body: TraceBody::Send {
+                to,
+                bytes: 96,
+                meta,
+                arrive_at_us: at + 500,
+            },
+        }
+    }
+
+    fn deliver(at: u64, from: usize, node: usize, meta: MsgMeta) -> TraceRecord {
+        TraceRecord {
+            at_us: at,
+            node,
+            layer: "forest",
+            kind: "join",
+            body: TraceBody::Deliver {
+                from,
+                bytes: 96,
+                meta,
+            },
+        }
+    }
+
+    fn chain() -> Vec<TraceRecord> {
+        // 0 -> 1 -> 2 -> 3, one trace rooted at msg 10.
+        let m0 = MsgMeta {
+            trace: 10,
+            id: 10,
+            parent: ROOT_PARENT,
+            hop: 0,
+        };
+        let m1 = MsgMeta {
+            trace: 10,
+            id: 11,
+            parent: 10,
+            hop: 1,
+        };
+        let m2 = MsgMeta {
+            trace: 10,
+            id: 12,
+            parent: 11,
+            hop: 2,
+        };
+        vec![
+            send(0, 0, 1, m0),
+            deliver(500, 0, 1, m0),
+            send(500, 1, 2, m1),
+            deliver(1_000, 1, 2, m1),
+            send(1_000, 2, 3, m2),
+            deliver(1_500, 2, 3, m2),
+        ]
+    }
+
+    #[test]
+    fn span_records_follow_parent_links() {
+        let recs = chain();
+        let span = span_records(&recs, 10);
+        assert_eq!(span.len(), 6);
+        // Every non-root message's parent is an earlier message in the span.
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &span {
+            let m = r.meta().unwrap();
+            if m.parent != ROOT_PARENT {
+                assert!(seen.contains(&m.parent), "parent {} unseen", m.parent);
+            }
+            seen.insert(m.id);
+        }
+        assert!(span_records(&recs, 99).is_empty());
+    }
+
+    #[test]
+    fn spans_group_by_trace() {
+        let mut recs = chain();
+        let other = MsgMeta {
+            trace: 50,
+            id: 50,
+            parent: ROOT_PARENT,
+            hop: 0,
+        };
+        recs.push(send(2_000, 4, 5, other));
+        let by_trace = spans(&recs);
+        assert_eq!(by_trace.len(), 2);
+        assert_eq!(by_trace[&10].len(), 6);
+        assert_eq!(by_trace[&50].len(), 1);
+    }
+
+    #[test]
+    fn last_trace_before_finds_in_flight_chain() {
+        let recs = chain();
+        assert_eq!(last_trace_before(&recs, "forest", 1_200), Some(10));
+        assert_eq!(last_trace_before(&recs, "forest", 0), None);
+        assert_eq!(last_trace_before(&recs, "dht", 9_999), None);
+    }
+
+    #[test]
+    fn histogram_bins_match_binning_levels() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [0, 10, 11, 100, 101, 5_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![2, 2, 2]);
+        assert_eq!(h.total(), 6);
+        let mut other = Histogram::new(&[10, 100]);
+        other.observe(5);
+        h.merge(&other);
+        assert_eq!(h.counts, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn registry_snapshot_is_deterministic_and_merges() {
+        let mut reg = MetricsRegistry::default();
+        for r in chain() {
+            reg.observe(&r, 4);
+        }
+        assert_eq!(reg.counter("forest", "sends"), 3);
+        assert_eq!(reg.counter("forest", "delivers"), 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.to_json(), reg.snapshot().to_json());
+        let mut merged = snap.clone();
+        merged.merge(&snap);
+        assert_eq!(merged.counters["forest.sends"], 6);
+        assert_eq!(merged.per_node["forest.node_sends"].iter().sum::<u64>(), 6);
+        assert_eq!(merged.histograms["forest.send_bytes_hist"].total(), 6);
+    }
+
+    #[test]
+    fn exporters_are_deterministic_and_well_formed() {
+        let recs = chain();
+        let chrome = chrome_trace(&recs);
+        assert_eq!(chrome, chrome_trace(&recs));
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        let jsonl = jsonl_trace(&recs);
+        assert_eq!(jsonl.lines().count(), 6);
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"layer\":\"forest\""));
+        }
+    }
+
+    #[test]
+    fn counting_sink_counts_without_buffering() {
+        let mut sink = CountingSink::default();
+        for r in chain() {
+            sink.record(r);
+        }
+        assert_eq!(sink.records, 6);
+        assert!(sink.snapshot().is_none());
+        const { assert!(!NoopSink::ENABLED) };
+        const { assert!(CountingSink::ENABLED) };
+    }
+
+    #[test]
+    fn recording_sink_filters_records_but_not_metrics() {
+        let mut sink = RecordingSink::new(8).with_layer_filter(Some("dht".to_string()));
+        for r in chain() {
+            sink.record(r);
+        }
+        assert!(sink.records().is_empty(), "forest records filtered out");
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.counters["forest.sends"], 3);
+    }
+}

@@ -96,6 +96,15 @@ impl<T: Payload> Payload for Shared<T> {
     fn size_bytes(&self) -> usize {
         self.0.size_bytes()
     }
+
+    // Trace tags pass through: sharing is invisible to observability too.
+    fn layer(&self) -> &'static str {
+        self.0.layer()
+    }
+
+    fn kind(&self) -> &'static str {
+        self.0.kind()
+    }
 }
 
 #[cfg(test)]

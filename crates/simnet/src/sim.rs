@@ -27,6 +27,7 @@ use std::collections::BinaryHeap;
 use rand::rngs::StdRng;
 
 use crate::chaos::{ChaosInjector, FaultFilter};
+use crate::obs::{DropReason, MsgMeta, NoopSink, TraceBody, TraceRecord, TraceSink, ROOT_PARENT};
 use crate::rng::sub_rng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeIdx, Topology};
@@ -42,6 +43,20 @@ use crate::traffic::TrafficLedger;
 pub trait Payload: Clone {
     /// Serialized size of this message in bytes.
     fn size_bytes(&self) -> usize;
+
+    /// Protocol-layer tag for trace records (`"dht"`, `"forest"`, `"fl"`,
+    /// `"central"`, ...). The default empty string is normalized to `"app"`
+    /// at record-emission time. Wrapper messages should delegate to the
+    /// wrapped payload where the inner message is the interesting one.
+    fn layer(&self) -> &'static str {
+        ""
+    }
+
+    /// Message-kind tag for trace records (`"join"`, `"broadcast"`, ...).
+    /// The default empty string is normalized to `"msg"` at record time.
+    fn kind(&self) -> &'static str {
+        ""
+    }
 }
 
 /// Broad activity categories for compute accounting (Figure 13a splits CPU
@@ -289,7 +304,12 @@ impl ComputeLedger {
 }
 
 /// The discrete-event simulator.
-pub struct Simulator<A: Application> {
+///
+/// The second type parameter selects the installed [`TraceSink`]; with the
+/// default [`NoopSink`], every observability code path is compiled away
+/// (the sink's `ENABLED` constant gates them statically) and the event loop
+/// is identical to an untraced build.
+pub struct Simulator<A: Application, S: TraceSink = NoopSink> {
     nodes: Vec<A>,
     alive: Vec<bool>,
     topology: Topology,
@@ -297,20 +317,42 @@ pub struct Simulator<A: Application> {
     slab: EventSlab<A::Msg>,
     now: SimTime,
     seq: u64,
+    // Message-id counter for causal spans. Starts at 1 (0 is the "not
+    // traced" sentinel) and only advances when the sink is enabled.
+    msg_seq: u64,
+    // Causal meta of queued Deliver events, parallel to the slab slots.
+    // Kept out of `EventKind` so an untraced build's slab slots stay as
+    // small as before observability existed; stays empty (never resized)
+    // when the sink is disabled.
+    meta_slots: Vec<MsgMeta>,
     rng: StdRng,
     traffic: TrafficLedger,
     compute: ComputeLedger,
     scratch: Vec<Action<A::Msg>>,
     events_processed: u64,
-    messages_dropped: u64,
+    dropped_loss: u64,
+    dropped_dead: u64,
     chaos: Option<ChaosInjector>,
     fault_filter: Option<FaultFilter<A::Msg>>,
+    sink: S,
 }
 
-impl<A: Application> Simulator<A> {
+impl<A: Application> Simulator<A, NoopSink> {
     /// Builds a simulator over `topology`, constructing each node with
     /// `make_node(index)`. `on_start` fires for every node at time zero.
-    pub fn new(topology: Topology, seed: u64, mut make_node: impl FnMut(NodeIdx) -> A) -> Self {
+    pub fn new(topology: Topology, seed: u64, make_node: impl FnMut(NodeIdx) -> A) -> Self {
+        Simulator::with_sink(topology, seed, NoopSink, make_node)
+    }
+}
+
+impl<A: Application, S: TraceSink> Simulator<A, S> {
+    /// Like [`Simulator::new`], but with an explicit trace sink installed.
+    pub fn with_sink(
+        topology: Topology,
+        seed: u64,
+        sink: S,
+        mut make_node: impl FnMut(NodeIdx) -> A,
+    ) -> Self {
         let n = topology.len();
         let nodes: Vec<A> = (0..n).map(&mut make_node).collect();
         // The steady-state in-flight event population is a small multiple
@@ -337,6 +379,8 @@ impl<A: Application> Simulator<A> {
             slab,
             now: SimTime::ZERO,
             seq: n as u64,
+            msg_seq: 1,
+            meta_slots: Vec::new(),
             rng: sub_rng(seed, "simulator"),
             traffic: TrafficLedger::new(n),
             compute: ComputeLedger::new(n),
@@ -345,10 +389,28 @@ impl<A: Application> Simulator<A> {
             scratch: Vec::with_capacity(n.clamp(16, 1_024)),
             topology,
             events_processed: 0,
-            messages_dropped: 0,
+            dropped_loss: 0,
+            dropped_dead: 0,
             chaos: None,
             fault_filter: None,
+            sink,
         }
+    }
+
+    /// The installed trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the installed trace sink (e.g. to take records).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the simulator, returning the sink with everything it
+    /// observed.
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     /// Installs a fault injector consulted on every message send (after the
@@ -429,9 +491,20 @@ impl<A: Application> Simulator<A> {
         self.queue.len()
     }
 
-    /// Messages dropped by loss or dead destinations so far.
+    /// Total messages dropped so far, for any reason.
     pub fn messages_dropped(&self) -> u64 {
-        self.messages_dropped
+        self.dropped_loss + self.dropped_dead
+    }
+
+    /// Messages dropped in flight: stochastic link loss, chaos faults, and
+    /// installed fault filters.
+    pub fn dropped_loss(&self) -> u64 {
+        self.dropped_loss
+    }
+
+    /// Messages dropped on arrival because the destination was down.
+    pub fn dropped_dead(&self) -> u64 {
+        self.dropped_dead
     }
 
     /// Schedules node `i` to go down at absolute time `at`.
@@ -472,7 +545,8 @@ impl<A: Application> Simulator<A> {
             };
             f(&mut self.nodes[i], &mut ctx)
         };
-        self.apply_actions(i, &mut actions);
+        // Driver-injected work roots fresh causal spans.
+        self.apply_actions(i, &mut actions, MsgMeta::NONE);
         self.scratch = actions;
         Some(r)
     }
@@ -529,6 +603,80 @@ impl<A: Application> Simulator<A> {
         self.now = entry.time;
         self.events_processed += 1;
         let mut notify_failure: Option<NodeIdx> = None;
+        // The delivered message's causal meta, inherited by sends issued
+        // from its handler; every other event kind roots fresh spans.
+        let mut cause = MsgMeta::NONE;
+        // Records are emitted here, in dispatch order — which is the
+        // (sim_time, seq) total order the determinism contract pins.
+        if S::ENABLED {
+            let meta = self
+                .meta_slots
+                .get(entry.slot as usize)
+                .copied()
+                .unwrap_or(MsgMeta::NONE);
+            match &kind {
+                EventKind::Deliver { src, msg } => {
+                    let (layer, mkind) = tag(msg);
+                    let body = if self.alive[node] {
+                        cause = meta;
+                        TraceBody::Deliver {
+                            from: *src,
+                            bytes: msg.size_bytes(),
+                            meta,
+                        }
+                    } else {
+                        TraceBody::Drop {
+                            to: node,
+                            bytes: msg.size_bytes(),
+                            reason: DropReason::DeadDest,
+                            meta,
+                        }
+                    };
+                    let about = if self.alive[node] { node } else { *src };
+                    self.sink.record(TraceRecord {
+                        at_us: self.now.as_micros(),
+                        node: about,
+                        layer,
+                        kind: mkind,
+                        body,
+                    });
+                }
+                EventKind::Timer { token } => {
+                    if self.alive[node] {
+                        self.sink.record(TraceRecord {
+                            at_us: self.now.as_micros(),
+                            node,
+                            layer: "sim",
+                            kind: "timer",
+                            body: TraceBody::TimerFire { token: *token },
+                        });
+                    }
+                }
+                EventKind::Down => {
+                    if self.alive[node] {
+                        self.sink.record(TraceRecord {
+                            at_us: self.now.as_micros(),
+                            node,
+                            layer: "sim",
+                            kind: "down",
+                            body: TraceBody::NodeDown,
+                        });
+                    }
+                }
+                EventKind::Up => {
+                    if !self.alive[node] {
+                        self.sink.record(TraceRecord {
+                            at_us: self.now.as_micros(),
+                            node,
+                            layer: "sim",
+                            kind: "up",
+                            body: TraceBody::NodeUp,
+                        });
+                    }
+                }
+                EventKind::Start | EventKind::SendFailed { .. } => {}
+            }
+        }
         debug_assert!(self.scratch.is_empty());
         let mut actions = std::mem::take(&mut self.scratch);
         {
@@ -550,7 +698,7 @@ impl<A: Application> Simulator<A> {
                         self.traffic.record_recv(node, msg.size_bytes());
                         self.nodes[node].on_message(&mut ctx, src, msg);
                     } else {
-                        self.messages_dropped += 1;
+                        self.dropped_dead += 1;
                         notify_failure = Some(src);
                     }
                 }
@@ -578,7 +726,7 @@ impl<A: Application> Simulator<A> {
                 }
             }
         }
-        self.apply_actions(node, &mut actions);
+        self.apply_actions(node, &mut actions, cause);
         self.scratch = actions;
         if let Some(src) = notify_failure {
             // Bounce a connection-failure notification back to the sender
@@ -591,7 +739,7 @@ impl<A: Application> Simulator<A> {
         self.now
     }
 
-    fn push_event(&mut self, time: SimTime, node: NodeIdx, kind: EventKind<A::Msg>) {
+    fn push_event(&mut self, time: SimTime, node: NodeIdx, kind: EventKind<A::Msg>) -> u32 {
         let seq = self.seq;
         self.seq += 1;
         let slot = self.slab.insert(PendingEvent { node, kind });
@@ -600,19 +748,86 @@ impl<A: Application> Simulator<A> {
             seq,
             slot,
         }));
+        slot
+    }
+
+    /// Parks a Deliver event's causal meta alongside its slab slot. Only
+    /// called when the sink is enabled; slots recycled by non-Deliver
+    /// events may hold stale meta, but every Deliver write refreshes its
+    /// slot before the corresponding dispatch reads it.
+    fn set_deliver_meta(&mut self, slot: u32, meta: MsgMeta) {
+        let i = slot as usize;
+        if self.meta_slots.len() <= i {
+            self.meta_slots.resize(i + 1, MsgMeta::NONE);
+        }
+        self.meta_slots[i] = meta;
+    }
+
+    /// Emits a send-side drop record (loss, chaos, or filter).
+    #[inline]
+    fn record_drop(
+        &mut self,
+        src: NodeIdx,
+        to: NodeIdx,
+        msg: &A::Msg,
+        reason: DropReason,
+        meta: MsgMeta,
+    ) {
+        let (layer, kind) = tag(msg);
+        self.sink.record(TraceRecord {
+            at_us: self.now.as_micros(),
+            node: src,
+            layer,
+            kind,
+            body: TraceBody::Drop {
+                to,
+                bytes: msg.size_bytes(),
+                reason,
+                meta,
+            },
+        });
     }
 
     /// Applies one callback's buffered side effects, draining the buffer in
     /// place. The buffer is the caller's loan of `self.scratch`, so the hot
     /// path performs no allocation: capacity survives across events.
-    fn apply_actions(&mut self, src: NodeIdx, actions: &mut Vec<Action<A::Msg>>) {
+    ///
+    /// `cause` is the causal meta of the delivered message whose handler
+    /// produced these actions ([`MsgMeta::NONE`] for timers, starts, driver
+    /// injections, ...): sends inherit its trace, or root a new one.
+    fn apply_actions(&mut self, src: NodeIdx, actions: &mut Vec<Action<A::Msg>>, cause: MsgMeta) {
         for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg, extra } => {
                     let size = msg.size_bytes();
                     self.traffic.record_send(src, size);
+                    // Causal identity, computed only when tracing is on;
+                    // drops too get ids, so a span shows where it died.
+                    let mut meta = MsgMeta::NONE;
+                    if S::ENABLED {
+                        let id = self.msg_seq;
+                        self.msg_seq += 1;
+                        meta = if cause.is_traced() {
+                            MsgMeta {
+                                trace: cause.trace,
+                                id,
+                                parent: cause.id,
+                                hop: cause.hop.saturating_add(1),
+                            }
+                        } else {
+                            MsgMeta {
+                                trace: id,
+                                id,
+                                parent: ROOT_PARENT,
+                                hop: 0,
+                            }
+                        };
+                    }
                     if self.topology.sample_loss(&mut self.rng) {
-                        self.messages_dropped += 1;
+                        self.dropped_loss += 1;
+                        if S::ENABLED {
+                            self.record_drop(src, to, &msg, DropReason::Loss, meta);
+                        }
                         continue;
                     }
                     // The base loss/delay draws above always happen first,
@@ -623,25 +838,93 @@ impl<A: Application> Simulator<A> {
                     if let Some(chaos) = self.chaos.as_mut() {
                         let verdict = chaos.on_send(self.now, src, to, &self.topology);
                         if verdict.drop {
-                            self.messages_dropped += 1;
+                            self.dropped_loss += 1;
+                            if S::ENABLED {
+                                self.record_drop(src, to, &msg, DropReason::Chaos, meta);
+                            }
                             continue;
                         }
                         if verdict.delay_factor > 1 {
                             delay = delay.saturating_mul(verdict.delay_factor);
+                            if S::ENABLED {
+                                let (layer, kind) = tag(&msg);
+                                self.sink.record(TraceRecord {
+                                    at_us: self.now.as_micros(),
+                                    node: src,
+                                    layer,
+                                    kind,
+                                    body: TraceBody::ChaosEffect {
+                                        to,
+                                        effect: "delay",
+                                    },
+                                });
+                            }
                         }
                         duplicate = verdict.duplicate;
+                        if duplicate && S::ENABLED {
+                            let (layer, kind) = tag(&msg);
+                            self.sink.record(TraceRecord {
+                                at_us: self.now.as_micros(),
+                                node: src,
+                                layer,
+                                kind,
+                                body: TraceBody::ChaosEffect {
+                                    to,
+                                    effect: "duplicate",
+                                },
+                            });
+                        }
                     }
                     if let Some(filter) = self.fault_filter.as_mut() {
                         if filter(self.now, src, to, &msg) {
-                            self.messages_dropped += 1;
+                            self.dropped_loss += 1;
+                            if S::ENABLED {
+                                self.record_drop(src, to, &msg, DropReason::Filter, meta);
+                            }
                             continue;
                         }
                     }
                     let at = self.now + extra + delay;
+                    if S::ENABLED {
+                        let (layer, kind) = tag(&msg);
+                        self.sink.record(TraceRecord {
+                            at_us: self.now.as_micros(),
+                            node: src,
+                            layer,
+                            kind,
+                            body: TraceBody::Send {
+                                to,
+                                bytes: size,
+                                meta,
+                                arrive_at_us: at.as_micros(),
+                            },
+                        });
+                    }
                     if duplicate {
                         // Same arrival time; the heap sequence number keeps
-                        // the pair ordered deterministically.
-                        self.push_event(
+                        // the pair ordered deterministically. The duplicate
+                        // gets its own message id so the span shows both
+                        // arrivals, but shares trace/parent/hop.
+                        let mut dup_meta = MsgMeta::NONE;
+                        if S::ENABLED {
+                            let id = self.msg_seq;
+                            self.msg_seq += 1;
+                            dup_meta = MsgMeta { id, ..meta };
+                            let (layer, kind) = tag(&msg);
+                            self.sink.record(TraceRecord {
+                                at_us: self.now.as_micros(),
+                                node: src,
+                                layer,
+                                kind,
+                                body: TraceBody::Send {
+                                    to,
+                                    bytes: size,
+                                    meta: dup_meta,
+                                    arrive_at_us: at.as_micros(),
+                                },
+                            });
+                        }
+                        let slot = self.push_event(
                             at,
                             to,
                             EventKind::Deliver {
@@ -649,8 +932,14 @@ impl<A: Application> Simulator<A> {
                                 msg: msg.clone(),
                             },
                         );
+                        if S::ENABLED {
+                            self.set_deliver_meta(slot, dup_meta);
+                        }
                     }
-                    self.push_event(at, to, EventKind::Deliver { src, msg });
+                    let slot = self.push_event(at, to, EventKind::Deliver { src, msg });
+                    if S::ENABLED {
+                        self.set_deliver_meta(slot, meta);
+                    }
                 }
                 Action::Timer { delay, token } => {
                     let at = self.now + delay;
@@ -658,10 +947,37 @@ impl<A: Application> Simulator<A> {
                 }
                 Action::Compute { kind, amount } => {
                     self.compute.charge(src, kind, amount);
+                    if S::ENABLED {
+                        let task = match kind {
+                            ComputeKind::FlTask => "fl",
+                            ComputeKind::DhtTask => "dht",
+                        };
+                        self.sink.record(TraceRecord {
+                            at_us: self.now.as_micros(),
+                            node: src,
+                            layer: "sim",
+                            kind: "compute",
+                            body: TraceBody::Compute {
+                                task,
+                                us: amount.as_micros(),
+                            },
+                        });
+                    }
                 }
             }
         }
     }
+}
+
+/// Normalizes a payload's layer/kind tags for record emission.
+#[inline]
+fn tag<M: Payload>(msg: &M) -> (&'static str, &'static str) {
+    let layer = msg.layer();
+    let kind = msg.kind();
+    (
+        if layer.is_empty() { "app" } else { layer },
+        if kind.is_empty() { "msg" } else { kind },
+    )
 }
 
 #[cfg(test)]
@@ -911,6 +1227,103 @@ mod tests {
         });
         sim.run_until_quiet(100);
         assert_eq!(sim.app(0).fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn drop_split_distinguishes_loss_and_dead() {
+        // Loss-drop: total-loss link.
+        let topology = Topology::uniform(2, 100, 100).with_loss(1.0);
+        let mut sim = Simulator::new(topology, 4, |_| RingNode {
+            n: 2,
+            limit: 10,
+            seen: Vec::new(),
+            down_count: 0,
+            up_count: 0,
+        });
+        sim.run_until_quiet(1_000);
+        assert_eq!(sim.dropped_loss(), 1);
+        assert_eq!(sim.dropped_dead(), 0);
+        // Dead-drop: the destination is down on arrival.
+        let mut sim = ring_sim(3, 30, 1);
+        sim.schedule_down(1, SimTime::from_micros(1));
+        sim.run_until_quiet(10_000);
+        assert_eq!(sim.dropped_loss(), 0);
+        assert!(sim.dropped_dead() >= 1);
+        assert_eq!(
+            sim.messages_dropped(),
+            sim.dropped_loss() + sim.dropped_dead()
+        );
+    }
+
+    #[test]
+    fn counting_sink_observes_without_perturbing() {
+        use crate::obs::CountingSink;
+        let mk = |_: NodeIdx| RingNode {
+            n: 4,
+            limit: 25,
+            seen: Vec::new(),
+            down_count: 0,
+            up_count: 0,
+        };
+        let mut plain = ring_sim(4, 25, 13);
+        plain.run_until_quiet(10_000);
+        let mut traced = Simulator::with_sink(
+            Topology::uniform(4, 1_000, 2_000),
+            13,
+            CountingSink::default(),
+            mk,
+        );
+        traced.run_until_quiet(10_000);
+        // Tracing must not consume RNG draws or change scheduling.
+        assert_eq!(plain.now(), traced.now());
+        assert_eq!(plain.events_processed(), traced.events_processed());
+        assert_eq!(plain.traffic().total_msgs(), traced.traffic().total_msgs());
+        // 25 sends + 25 delivers.
+        assert_eq!(traced.sink().records, 50);
+    }
+
+    #[test]
+    fn recording_sink_reconstructs_causal_chain() {
+        use crate::obs::{spans, RecordingSink, TraceBody};
+        let mut sim = Simulator::with_sink(
+            Topology::uniform(3, 1_000, 2_000),
+            42,
+            RecordingSink::new(3),
+            |_| RingNode {
+                n: 3,
+                limit: 5,
+                seen: Vec::new(),
+                down_count: 0,
+                up_count: 0,
+            },
+        );
+        sim.run_until_quiet(10_000);
+        let records = sim.sink_mut().take_records();
+        // The whole token walk is one causal span rooted at node 0's start.
+        let by_trace = spans(&records);
+        assert_eq!(by_trace.len(), 1);
+        let span = by_trace.values().next().unwrap();
+        let hops: Vec<u16> = span
+            .iter()
+            .filter_map(|r| match r.body {
+                TraceBody::Send { meta, .. } => Some(meta.hop),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hops, vec![0, 1, 2, 3, 4]);
+        // Parent linkage: each send's parent is the previous send's id.
+        let metas: Vec<_> = span
+            .iter()
+            .filter_map(|r| match r.body {
+                TraceBody::Send { meta, .. } => Some(meta),
+                _ => None,
+            })
+            .collect();
+        for pair in metas.windows(2) {
+            assert_eq!(pair[1].parent, pair[0].id);
+            assert_eq!(pair[1].trace, pair[0].trace);
+        }
+        assert_eq!(metas[0].parent, crate::obs::ROOT_PARENT);
     }
 
     #[test]

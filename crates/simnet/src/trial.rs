@@ -13,6 +13,7 @@
 //! code paths), which the benchmark harness relies on for byte-identical
 //! output across `--jobs` settings.
 
+use crate::obs::{MetricsSnapshot, TraceSink};
 use crate::sim::{Application, Simulator};
 use crate::traffic::TrafficTotals;
 
@@ -25,8 +26,10 @@ pub struct TrialReport {
     pub sim_end_us: u64,
     /// Events processed by the simulator.
     pub events: u64,
-    /// Messages dropped (loss or dead destination).
-    pub dropped: u64,
+    /// Messages dropped in flight (link loss, chaos faults, fault filters).
+    pub dropped_loss: u64,
+    /// Messages dropped on arrival at a dead destination.
+    pub dropped_dead: u64,
     /// Aggregate traffic counters across all nodes.
     pub traffic: TrafficTotals,
     /// Total FL-task CPU microseconds across all nodes.
@@ -35,22 +38,34 @@ pub struct TrialReport {
     pub dht_us: u64,
     /// Total application state bytes across all nodes at capture time.
     pub memory_bytes: u64,
+    /// Observability metrics snapshot, when the trial ran with a metrics-
+    /// aggregating trace sink installed (`None` with the default
+    /// [`crate::obs::NoopSink`], keeping untraced JSON unchanged).
+    pub obs: Option<MetricsSnapshot>,
 }
 
 impl TrialReport {
-    /// Captures a report from a simulator.
-    pub fn capture<A: Application>(sim: &Simulator<A>) -> Self {
+    /// Captures a report from a simulator (any installed trace sink; a
+    /// metrics-aggregating sink contributes its snapshot as `obs`).
+    pub fn capture<A: Application, S: TraceSink>(sim: &Simulator<A, S>) -> Self {
         let memory_bytes = sim.apps().map(|a| a.memory_bytes() as u64).sum();
         TrialReport {
             nodes: sim.len(),
             sim_end_us: sim.now().as_micros(),
             events: sim.events_processed(),
-            dropped: sim.messages_dropped(),
+            dropped_loss: sim.dropped_loss(),
+            dropped_dead: sim.dropped_dead(),
             traffic: sim.traffic().totals(),
             fl_us: sim.compute().fl_us.iter().sum(),
             dht_us: sim.compute().dht_us.iter().sum(),
             memory_bytes,
+            obs: sim.sink().snapshot(),
         }
+    }
+
+    /// Total messages dropped, for any reason.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_dead
     }
 
     /// Mean TCP wire bytes sent per node.
@@ -71,25 +86,35 @@ impl TrialReport {
         self.nodes += other.nodes;
         self.sim_end_us = self.sim_end_us.max(other.sim_end_us);
         self.events += other.events;
-        self.dropped += other.dropped;
+        self.dropped_loss += other.dropped_loss;
+        self.dropped_dead += other.dropped_dead;
         self.traffic.merge(&other.traffic);
         self.fl_us += other.fl_us;
         self.dht_us += other.dht_us;
         self.memory_bytes += other.memory_bytes;
+        match (&mut self.obs, &other.obs) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.obs = Some(theirs.clone()),
+            _ => {}
+        }
     }
 
     /// Deterministic JSON rendering (fixed key order, integer counters).
+    /// The `obs` section is appended only when a metrics snapshot was
+    /// captured, so untraced reports keep their historical shape.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             concat!(
-                "{{\"nodes\":{},\"sim_end_us\":{},\"events\":{},\"dropped\":{},",
+                "{{\"nodes\":{},\"sim_end_us\":{},\"events\":{},",
+                "\"dropped_loss\":{},\"dropped_dead\":{},",
                 "\"msgs_sent\":{},\"msgs_recv\":{},\"payload_sent\":{},\"payload_recv\":{},",
-                "\"tcp_sent\":{},\"udp_sent\":{},\"fl_us\":{},\"dht_us\":{},\"memory_bytes\":{}}}"
+                "\"tcp_sent\":{},\"udp_sent\":{},\"fl_us\":{},\"dht_us\":{},\"memory_bytes\":{}"
             ),
             self.nodes,
             self.sim_end_us,
             self.events,
-            self.dropped,
+            self.dropped_loss,
+            self.dropped_dead,
             self.traffic.msgs_sent,
             self.traffic.msgs_recv,
             self.traffic.payload_sent,
@@ -99,7 +124,13 @@ impl TrialReport {
             self.fl_us,
             self.dht_us,
             self.memory_bytes,
-        )
+        );
+        if let Some(obs) = &self.obs {
+            out.push_str(",\"obs\":");
+            out.push_str(&obs.to_json());
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -140,5 +171,74 @@ mod tests {
         };
         assert_eq!(r.to_json(), r.clone().to_json());
         assert!(r.to_json().starts_with("{\"nodes\":4,"));
+    }
+
+    #[test]
+    fn json_field_order_survives_field_additions() {
+        let r = TrialReport {
+            nodes: 1,
+            dropped_loss: 2,
+            dropped_dead: 3,
+            ..TrialReport::default()
+        };
+        let json = r.to_json();
+        // The key order is part of the byte-identical-output contract; any
+        // new field must extend, not reorder, this sequence.
+        let keys = [
+            "nodes",
+            "sim_end_us",
+            "events",
+            "dropped_loss",
+            "dropped_dead",
+            "msgs_sent",
+            "msgs_recv",
+            "payload_sent",
+            "payload_recv",
+            "tcp_sent",
+            "udp_sent",
+            "fl_us",
+            "dht_us",
+            "memory_bytes",
+        ];
+        let mut pos = 0;
+        for k in keys {
+            let p = json
+                .find(&format!("\"{k}\":"))
+                .unwrap_or_else(|| panic!("missing key {k}"));
+            assert!(p >= pos, "key {k} out of order");
+            pos = p;
+        }
+        // Without a snapshot the report keeps its historical shape...
+        assert!(!json.contains("\"obs\""));
+        // ...and a snapshot only ever appends after the fixed fields.
+        let mut traced = r.clone();
+        traced.obs = Some(MetricsSnapshot::default());
+        let traced_json = traced.to_json();
+        assert!(traced_json.starts_with(json.trim_end_matches('}')));
+        assert!(traced_json.contains(",\"obs\":{"));
+        assert_eq!(traced_json, traced.clone().to_json());
+    }
+
+    #[test]
+    fn merge_sums_drop_split_and_obs() {
+        let mut a = TrialReport {
+            dropped_loss: 2,
+            dropped_dead: 1,
+            ..TrialReport::default()
+        };
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("forest.sends".into(), 5);
+        let b = TrialReport {
+            dropped_loss: 3,
+            dropped_dead: 4,
+            obs: Some(snap),
+            ..TrialReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.dropped_loss, 5);
+        assert_eq!(a.dropped_dead, 5);
+        assert_eq!(a.dropped(), 10);
+        a.merge(&b);
+        assert_eq!(a.obs.as_ref().unwrap().counters["forest.sends"], 10);
     }
 }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Guards the simulator hot path against observability overhead: a fresh
+# simcore run (NoopSink — tracing statically compiled out) must stay
+# within TOLERANCE_PCT of the committed BENCH_simcore.json events/sec on
+# every workload. Usage:
+#
+#   scripts/check_simcore_guard.sh FRESH.json... [BASELINE.json]
+#
+# Multiple FRESH files may be given (repeat runs); the best rate per
+# workload is compared, which keeps the guard stable on noisy machines.
+# The last argument is taken as the baseline when more than one file is
+# given and it differs from the first; otherwise BENCH_simcore.json.
+# TOLERANCE_PCT defaults to 5 (the PR-4 acceptance bound).
+set -euo pipefail
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: check_simcore_guard.sh FRESH.json... [BASELINE.json]" >&2
+  exit 2
+fi
+if [ "$#" -ge 2 ]; then
+  fresh=("${@:1:$#-1}")
+  baseline="${!#}"
+else
+  fresh=("$1")
+  baseline="BENCH_simcore.json"
+fi
+tolerance="${TOLERANCE_PCT:-5}"
+
+# Extracts `name events_per_sec` pairs from a simcore JSON file.
+rates() {
+  sed -n 's/.*"name":"\([a-z_]*\)".*"events_per_sec":\([0-9]*\).*/\1 \2/p' "$1"
+}
+
+# Best observed rate for a workload across all fresh files.
+best_fresh() {
+  local name="$1" f
+  for f in "${fresh[@]}"; do rates "$f"; done |
+    awk -v n="$name" '$1 == n { print $2 }' | sort -n | tail -1
+}
+
+fail=0
+while read -r name base_rate; do
+  fresh_rate=$(best_fresh "$name")
+  if [ -z "$fresh_rate" ]; then
+    echo "FAIL $name: missing from ${fresh[*]}"
+    fail=1
+    continue
+  fi
+  ok=$(awk -v f="$fresh_rate" -v b="$base_rate" -v t="$tolerance" \
+    'BEGIN { print (f >= b * (1 - t / 100)) ? 1 : 0 }')
+  delta=$(awk -v f="$fresh_rate" -v b="$base_rate" \
+    'BEGIN { printf "%+.1f", (f / b - 1) * 100 }')
+  if [ "$ok" = 1 ]; then
+    echo "ok   $name: $fresh_rate ev/s vs baseline $base_rate (${delta}%)"
+  else
+    echo "FAIL $name: $fresh_rate ev/s vs baseline $base_rate (${delta}%, tolerance -${tolerance}%)"
+    fail=1
+  fi
+done < <(rates "$baseline")
+
+if [ "$fail" != 0 ]; then
+  echo "simcore guard failed: hot-path throughput regressed beyond ${tolerance}%"
+  exit 1
+fi
+echo "simcore guard passed (tolerance ${tolerance}%)"

@@ -22,7 +22,7 @@ fn fingerprint(o: &ChaosOutcome) -> (String, Vec<String>, u64, u64, u64, u64, u6
         o.atoms.clone(),
         o.rounds,
         o.sim.events,
-        o.sim.dropped,
+        o.sim.dropped(),
         o.chaos.dropped,
         o.chaos.duplicated,
         o.chaos.delayed,
