@@ -8,7 +8,7 @@
 //! concurrently (§7.4). Clients do *real* local training on their shards,
 //! with the compute charged on the simulated clock.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // det: allow(unordered: import only; every declaration and construction site below carries its own proof)
 use std::sync::Arc;
 
 use totoro_ml::{accuracy, AccuracyPoint, Dataset, Mlp, ModelUpdate};
@@ -303,8 +303,10 @@ impl Server {
 /// A client node.
 pub struct Client {
     /// Per-app local shard.
+    // det: allow(unordered: keyed get/insert by app id only; never iterated)
     shards: HashMap<usize, Dataset>,
     /// Per-app local model replica.
+    // det: allow(unordered: keyed get/entry by app id only; never iterated)
     replicas: HashMap<usize, Mlp>,
     /// App specs, indexed by app id (installed at submission).
     specs: Vec<Arc<AppSpec>>,
@@ -314,8 +316,8 @@ pub struct Client {
 impl Client {
     fn new(server: NodeIdx) -> Self {
         Client {
-            shards: HashMap::new(),
-            replicas: HashMap::new(),
+            shards: HashMap::new(), // det: allow(unordered: construction of the key-only map proven at its field declaration)
+            replicas: HashMap::new(), // det: allow(unordered: construction of the key-only map proven at its field declaration)
             specs: Vec::new(),
             server,
         }

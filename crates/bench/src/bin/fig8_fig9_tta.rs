@@ -5,12 +5,14 @@
 //! `--dataset speech|femnist`; the flag is still honored here and mapped to
 //! the `fig8` (speech) or `fig9` (femnist) scenario registration.
 
+use totoro_bench::logging;
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut dataset = "speech".to_string();
     if let Some(i) = args.iter().position(|a| a == "--dataset") {
         if i + 1 >= args.len() {
-            eprintln!("--dataset requires a value (speech|femnist)");
+            logging::error("--dataset requires a value (speech|femnist)");
             std::process::exit(2);
         }
         dataset = args.remove(i + 1);
@@ -20,7 +22,9 @@ fn main() {
         "speech" => "fig8",
         "femnist" => "fig9",
         other => {
-            eprintln!("unknown dataset {other:?} (expected speech|femnist)");
+            logging::error(format_args!(
+                "unknown dataset {other:?} (expected speech|femnist)"
+            ));
             std::process::exit(2);
         }
     };

@@ -10,12 +10,12 @@
 //! shims over the same registry.
 
 use totoro_bench::scenario::run_scenario;
-use totoro_bench::scenarios;
+use totoro_bench::{logging, report, scenarios};
 
 fn print_list() {
-    println!("available scenarios:");
+    report::emitln("available scenarios:");
     for s in scenarios::all() {
-        println!("  {:<10} {}", s.name(), s.description());
+        report::emitln(format_args!("  {:<10} {}", s.name(), s.description()));
     }
 }
 
@@ -23,7 +23,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         None | Some("--list") | Some("--help") | Some("-h") => {
-            println!("usage: totoro-bench <scenario> [--nodes N] [--seed S] [--jobs J] [--json] [--<key> <value>]");
+            report::emitln(
+                "usage: totoro-bench <scenario> [--nodes N] [--seed S] [--jobs J] [--json] [--<key> <value>]",
+            );
             print_list();
             if args.is_empty() {
                 std::process::exit(2);
@@ -32,7 +34,7 @@ fn main() {
         Some(name) => match scenarios::find(name) {
             Some(s) => run_scenario(s.as_ref(), &args[1..]),
             None => {
-                eprintln!("unknown scenario {name:?}");
+                logging::error(format_args!("unknown scenario {name:?}"));
                 print_list();
                 std::process::exit(2);
             }

@@ -23,8 +23,8 @@ use std::process::ExitCode;
 use totoro_bench::chaos::{
     run_chaos_trial_sink, shrink, BugKind, ChaosScenario, ChaosSpec, PLAN_NAMES,
 };
-use totoro_bench::logging;
 use totoro_bench::scenario::{run_trials, Params, Scenario, Trial};
+use totoro_bench::{logging, report};
 use totoro_simnet::{
     chrome_trace, jsonl_trace, last_trace_before, span_report, NoopSink, RecordingSink,
 };
@@ -183,14 +183,14 @@ fn replay(cli: &Cli, plan: &str, seed: u64) -> ExitCode {
         seed,
         bug: cli.bug.as_deref().and_then(BugKind::parse),
     };
-    println!(
+    report::emitln(format_args!(
         "replaying plan={plan} seed={seed} nodes={} trees={}{}",
         spec.nodes,
         spec.trees,
         spec.bug
             .map(|b| format!(" bug={}", b.name()))
             .unwrap_or_default()
-    );
+    ));
     let (outcome, records) = if cli.trace.is_some() {
         let sink = RecordingSink::new(cli.nodes).with_layer_filter(cli.trace_filter.clone());
         let (outcome, mut sink) = run_chaos_trial_sink(&spec, None, sink);
@@ -214,49 +214,51 @@ fn replay(cli: &Cli, plan: &str, seed: u64) -> ExitCode {
             records.len()
         ));
     }
-    println!("plan atoms:");
+    report::emitln("plan atoms:");
     for atom in &outcome.atoms {
-        println!("  - {atom}");
+        report::emitln(format_args!("  - {atom}"));
     }
-    println!(
+    report::emitln(format_args!(
         "rounds={} events={} chaos: dropped={} duplicated={} delayed={}",
         outcome.rounds,
         outcome.sim.events,
         outcome.chaos.dropped,
         outcome.chaos.duplicated,
         outcome.chaos.delayed
-    );
+    ));
     if outcome.violations.is_empty() {
-        println!("no invariant violations");
+        report::emitln("no invariant violations");
         return ExitCode::SUCCESS;
     }
     for v in &outcome.violations {
-        println!(
+        report::emitln(format_args!(
             "VIOLATION: {} @ {:.1}s: {}",
             v.invariant,
             v.at.as_micros() as f64 / 1e6,
             v.detail
-        );
+        ));
         if let Some(records) = records.as_deref() {
             match last_trace_before(records, "forest", v.at.as_micros()) {
                 Some(trace) => {
-                    println!("  last forest message chain in flight (span {trace}):");
+                    report::emitln(format_args!(
+                        "  last forest message chain in flight (span {trace}):"
+                    ));
                     for line in span_report(records, trace) {
-                        println!("    {line}");
+                        report::emitln(format_args!("    {line}"));
                     }
                 }
-                None => println!("  no forest message chain recorded before the violation"),
+                None => report::emitln("  no forest message chain recorded before the violation"),
             }
         }
     }
     let shrunk = shrink(&spec);
-    println!(
+    report::emitln(format_args!(
         "shrunk to {} atom(s) in {} runs:",
         shrunk.atoms.len(),
         shrunk.runs
-    );
+    ));
     for atom in &shrunk.atoms {
-        println!("  - {atom}");
+        report::emitln(format_args!("  - {atom}"));
     }
     ExitCode::FAILURE
 }
@@ -288,7 +290,7 @@ fn main() -> ExitCode {
     let trials = Trial::seal(scenario.trials(&params));
     let reports = run_trials(&scenario, &trials, params.jobs);
     let text = scenario.render(&params, &reports);
-    print!("{text}");
+    report::emit(&text);
 
     let violations: u64 = reports.iter().map(|r| r.metric("violations") as u64).sum();
     if let Some(path) = &cli.report_path {

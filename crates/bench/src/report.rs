@@ -7,6 +7,24 @@
 //! which is what makes rendered output comparable byte-for-byte across
 //! `--jobs` settings.
 
+/// Writes rendered report text to stdout, verbatim.
+///
+/// This is the *only* stdout write in the workspace outside tests: stdout
+/// is the golden surface (byte-compared by `crates/bench/tests/golden.rs`
+/// across `--jobs`, seeds, and trace sinks), so every byte that reaches it
+/// funnels through here. The determinism linter (`totoro-detlint`, rule
+/// DET003 `golden-surface`) enforces this statically; human-facing chatter
+/// belongs on stderr via [`crate::logging`].
+pub fn emit(text: impl std::fmt::Display) {
+    print!("{text}");
+}
+
+/// [`emit`] with a trailing newline, for usage/listing lines that are not
+/// golden-compared but still belong to a binary's stdout contract.
+pub fn emitln(text: impl std::fmt::Display) {
+    println!("{text}");
+}
+
 /// Renders a markdown table.
 pub fn markdown_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();

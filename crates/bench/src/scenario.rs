@@ -565,7 +565,7 @@ pub fn run_scenario(scenario: &dyn Scenario, args: &[String]) {
                     }
                 }
             }
-            print!("{out}");
+            crate::report::emit(&out);
         }
         Err(msg) => {
             crate::logging::error(format_args!("{}: {msg}", scenario.name()));

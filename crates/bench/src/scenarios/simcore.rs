@@ -77,6 +77,7 @@ fn sizes(mode: &str) -> Sizes {
 fn timed(reps: u64, mut f: impl FnMut() -> u64) -> (u64, f64) {
     let mut best: Option<(u64, f64)> = None;
     for _ in 0..reps.max(1) {
+        // det: allow(entropy: wall-clock throughput measurement; feeds BENCH_simcore.json perf floors, which are explicitly not byte-deterministic and never golden-compared)
         let start = Instant::now();
         let events = f();
         let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;

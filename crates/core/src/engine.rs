@@ -7,7 +7,7 @@
 //! plays different roles for different applications — the
 //! "many masters / many workers" architecture.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // det: allow(unordered: import only; every declaration and construction site below carries its own proof)
 use std::sync::Arc;
 
 use totoro_dht::Id;
@@ -53,14 +53,19 @@ pub struct FlEngine {
     addr: NodeIdx,
     /// Application registry (same order on every node).
     registry: Vec<Arc<FlAppConfig>>,
+    // det: allow(unordered: keyed topic->index lookup only; never iterated)
     topic_to_app: HashMap<Id, usize>,
+    // det: allow(unordered: keyed get/insert by app id; `values()` only feeds the commutative byte-count sum in `memory_bytes`)
     shards: HashMap<usize, Dataset>,
+    // det: allow(unordered: keyed get/entry by app id; `values()` only feeds the commutative parameter-count sum in `memory_bytes`)
     replicas: HashMap<usize, Mlp>,
     /// Most recent local mean training loss per app (feeds LossAdaptive
     /// selection).
+    // det: allow(unordered: keyed get/insert by app id only; never iterated)
     last_loss: HashMap<usize, f32>,
     /// Master state per application (present only where this node is/was
     /// the root).
+    // det: allow(unordered: keyed access by app id; `values()` only feeds the commutative parameter-count sum in `memory_bytes`, and role censuses iterate nodes probing per key — see roles.rs)
     pub masters: HashMap<usize, MasterState>,
     /// Counters.
     pub stats: EngineStats,
@@ -72,11 +77,11 @@ impl FlEngine {
         FlEngine {
             addr,
             registry: Vec::new(),
-            topic_to_app: HashMap::new(),
-            shards: HashMap::new(),
-            replicas: HashMap::new(),
-            last_loss: HashMap::new(),
-            masters: HashMap::new(),
+            topic_to_app: HashMap::new(), // det: allow(unordered: construction of the key-only map proven at its field declaration)
+            shards: HashMap::new(), // det: allow(unordered: construction of the key-only map proven at its field declaration)
+            replicas: HashMap::new(), // det: allow(unordered: construction of the key-only map proven at its field declaration)
+            last_loss: HashMap::new(), // det: allow(unordered: construction of the key-only map proven at its field declaration)
+            masters: HashMap::new(), // det: allow(unordered: construction of the key-only map proven at its field declaration)
             stats: EngineStats::default(),
         }
     }

@@ -1,0 +1,143 @@
+//! Diagnostic rendering: rustc-style text, machine-readable JSON, and
+//! the `--list-allows` audit view.
+
+use crate::lexer::Allow;
+use crate::rules::Finding;
+
+/// Renders one finding rustc-style:
+///
+/// ```text
+/// error[DET001]: `HashMap` in a protocol crate: ...
+///   --> crates/pubsub/src/forest.rs:135:20
+/// ```
+pub fn render_text(f: &Finding) -> String {
+    format!(
+        "error[{}]: {}\n  --> {}:{}:{}  ({})\n",
+        f.rule.code(),
+        f.message,
+        f.file,
+        f.line,
+        f.col,
+        f.rule.name()
+    )
+}
+
+/// Renders the whole report as text, ending with a summary line.
+pub fn render_report(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&render_text(f));
+    }
+    if findings.is_empty() {
+        out.push_str(&format!(
+            "detlint: {files_scanned} files scanned, no determinism violations\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "detlint: {} violation(s) in {files_scanned} files scanned\n",
+            findings.len()
+        ));
+    }
+    out
+}
+
+/// Renders findings as a JSON array (hand-rolled; no serde in this crate).
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"files_scanned\": ");
+    out.push_str(&files_scanned.to_string());
+    out.push_str(",\n  \"violations\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"name\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+             \"token\": {}, \"message\": {}}}",
+            json_str(f.rule.code()),
+            json_str(f.rule.name()),
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(&f.token),
+            json_str(&f.message),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders the `--list-allows` audit view: every suppression in the tree
+/// with its reason, one line each, sorted by path.
+pub fn render_allows(allows: &[(String, Allow)]) -> String {
+    let mut out = String::new();
+    for (file, a) in allows {
+        out.push_str(&format!(
+            "{file}:{}: allow({}) — {}\n",
+            a.applies_to,
+            a.class,
+            if a.reason.is_empty() {
+                "<MISSING REASON>"
+            } else {
+                &a.reason
+            }
+        ));
+    }
+    out.push_str(&format!("{} suppression(s) in the tree\n", allows.len()));
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    #[test]
+    fn text_and_json_round_position_through() {
+        let f = Finding {
+            rule: RuleId::UnorderedCollections,
+            file: "crates/pubsub/src/forest.rs".into(),
+            line: 135,
+            col: 20,
+            token: "HashMap".into(),
+            message: "msg with \"quotes\"".into(),
+        };
+        let text = render_text(&f);
+        assert!(text.contains("error[DET001]"));
+        assert!(text.contains("crates/pubsub/src/forest.rs:135:20"));
+        let json = render_json(std::slice::from_ref(&f), 7);
+        assert!(json.contains("\"rule\": \"DET001\""));
+        assert!(json.contains("\"line\": 135"));
+        assert!(json.contains("msg with \\\"quotes\\\""));
+        assert!(json.contains("\"files_scanned\": 7"));
+    }
+
+    #[test]
+    fn empty_report_is_a_clean_summary() {
+        let r = render_report(&[], 42);
+        assert!(r.contains("42 files scanned, no determinism violations"));
+        let j = render_json(&[], 42);
+        assert!(j.contains("\"violations\": []"));
+    }
+}

@@ -1,0 +1,77 @@
+//! # totoro-detlint
+//!
+//! A from-scratch static determinism linter for the Totoro workspace
+//! (DESIGN.md §11). Every artifact the benchmark harness regenerates
+//! rests on a byte-identical-output contract across `--jobs`, seeds, and
+//! trace sinks; this crate enforces the coding rules behind that
+//! contract *statically*, before a golden file ever diverges:
+//!
+//! * **DET001 `unordered-collections`** — `HashMap`/`HashSet`/
+//!   `RandomState` in protocol crates needs `// det: allow(unordered:
+//!   <reason>)` asserting its iteration order never reaches protocol
+//!   decisions, RNG draws, or report output.
+//! * **DET002 `ambient-entropy`** — `Instant::now`, `SystemTime`,
+//!   `thread_rng`, `rand::random`, `env::var` are forbidden in
+//!   sim/protocol/bench crates (simulated time and seeded streams only).
+//! * **DET003 `golden-surface`** — `println!`/`print!`/`eprintln!`/
+//!   `eprint!`/`dbg!` are forbidden outside `crates/bench`'s report and
+//!   logging modules: stdout is the golden surface, stderr goes through
+//!   the leveled logger.
+//! * **DET004 `unsafe-forbid`** — every crate root keeps
+//!   `#![forbid(unsafe_code)]`.
+//! * **DET005 `bad-annotation`** — suppressions must name a known class
+//!   and carry a written reason.
+//!
+//! Built on a hand-rolled lexer ([`lexer`]) that masks comments and
+//! string literals exactly (nested block comments, raw strings, byte
+//! strings, char-vs-lifetime quotes), so rules match code and only code.
+//! No `syn`, no registry dependencies: the linter runs on a tree whose
+//! build is broken and can never perturb what it checks.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+use lexer::Allow;
+use rules::Finding;
+
+/// Result of linting a workspace tree.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All diagnostics, sorted by `(file, line, col, rule)`.
+    pub findings: Vec<Finding>,
+    /// Every `det: allow` annotation seen, as `(file, allow)` pairs.
+    pub allows: Vec<(String, Allow)>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints every workspace `.rs` source under `root`.
+pub fn lint_root(root: &Path) -> io::Result<LintReport> {
+    let files = workspace::discover(root)?;
+    let mut findings = Vec::new();
+    let mut allows = Vec::new();
+    for sf in &files {
+        let src = std::fs::read_to_string(root.join(&sf.rel))?;
+        let lexed = lexer::lex(&src);
+        rules::scan_file(sf, &lexed, &mut findings);
+        for a in lexed.allows {
+            allows.push((sf.rel.clone(), a));
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    allows.sort_by(|a, b| (a.0.as_str(), a.1.line).cmp(&(b.0.as_str(), b.1.line)));
+    Ok(LintReport {
+        findings,
+        allows,
+        files_scanned: files.len(),
+    })
+}

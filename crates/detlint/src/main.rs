@@ -1,0 +1,103 @@
+//! `totoro-detlint`: CLI for the workspace determinism linter.
+//!
+//! ```text
+//! totoro-detlint                 # lint the enclosing workspace, text diagnostics
+//! totoro-detlint --json          # machine-readable report on stdout
+//! totoro-detlint --list-allows   # audit view of every suppression + reason
+//! totoro-detlint --root PATH     # lint a different tree (used by the fixture tests)
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use totoro_detlint::{diag, lint_root, workspace};
+
+struct Cli {
+    root: Option<PathBuf>,
+    json: bool,
+    list_allows: bool,
+}
+
+const USAGE: &str = "usage: totoro-detlint [--root PATH] [--json] [--list-allows]";
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: None,
+        json: false,
+        list_allows: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => cli.json = true,
+            "--list-allows" => cli.list_allows = true,
+            "--root" => {
+                i += 1;
+                let path = args.get(i).ok_or("--root requires a path")?;
+                cli.root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match cli.root {
+        Some(root) => root,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match workspace::find_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!("error: no enclosing Cargo workspace found (try --root PATH)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match lint_root(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list_allows {
+        print!("{}", diag::render_allows(&report.allows));
+        return ExitCode::SUCCESS;
+    }
+    if cli.json {
+        print!(
+            "{}",
+            diag::render_json(&report.findings, report.files_scanned)
+        );
+    } else {
+        print!(
+            "{}",
+            diag::render_report(&report.findings, report.files_scanned)
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,605 @@
+//! The determinism rule set (DESIGN.md §11).
+//!
+//! Each rule scans the *masked* text produced by [`crate::lexer`] — so
+//! comments and string literals can never trigger or hide a finding —
+//! and reports rustc-style `file:line:col` diagnostics. Findings are
+//! suppressible per line with `// det: allow(<class>: <reason>)`, except
+//! `unsafe-forbid` and `bad-annotation`, which guard the suppression
+//! mechanism itself.
+
+use crate::lexer::{Allow, Lexed};
+use crate::workspace::{FileKind, SourceFile};
+
+/// Crates whose iteration order, RNG draws, and protocol decisions feed
+/// golden output: any unordered collection there needs a written proof.
+pub const PROTOCOL_CRATES: &[&str] = &[
+    "simnet",
+    "dht",
+    "pubsub",
+    "core",
+    "baselines",
+    "bandit",
+    "ml",
+];
+
+/// Crates where ambient entropy (wall clocks, OS RNG, environment) is
+/// forbidden: the protocol crates plus the harness that renders goldens.
+pub const ENTROPY_CRATES: &[&str] = &[
+    "simnet",
+    "dht",
+    "pubsub",
+    "core",
+    "baselines",
+    "bandit",
+    "ml",
+    "bench",
+];
+
+/// The only modules allowed to write to stdout/stderr directly: stdout is
+/// the golden surface (report emission) and stderr goes through the
+/// leveled logger. Everything else must route through these.
+pub const GOLDEN_ALLOWED_FILES: &[&str] =
+    &["crates/bench/src/report.rs", "crates/bench/src/logging.rs"];
+
+/// Stable rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// DET001: unordered collection in a protocol crate without an allow.
+    UnorderedCollections,
+    /// DET002: ambient entropy (wall clock, OS RNG, env) in sim crates.
+    AmbientEntropy,
+    /// DET003: direct stdout/stderr writes outside report/logging.
+    GoldenSurface,
+    /// DET004: crate root missing `#![forbid(unsafe_code)]`.
+    UnsafeForbid,
+    /// DET005: malformed `det: allow` (unknown class or missing reason).
+    BadAnnotation,
+}
+
+impl RuleId {
+    /// `DET00x` code used in diagnostics and the JSON report.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::UnorderedCollections => "DET001",
+            RuleId::AmbientEntropy => "DET002",
+            RuleId::GoldenSurface => "DET003",
+            RuleId::UnsafeForbid => "DET004",
+            RuleId::BadAnnotation => "DET005",
+        }
+    }
+
+    /// Human rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::UnorderedCollections => "unordered-collections",
+            RuleId::AmbientEntropy => "ambient-entropy",
+            RuleId::GoldenSurface => "golden-surface",
+            RuleId::UnsafeForbid => "unsafe-forbid",
+            RuleId::BadAnnotation => "bad-annotation",
+        }
+    }
+
+    /// The `det: allow(<class>: ...)` class that suppresses this rule,
+    /// if it is suppressible at all.
+    pub fn allow_class(self) -> Option<&'static str> {
+        match self {
+            RuleId::UnorderedCollections => Some("unordered"),
+            RuleId::AmbientEntropy => Some("entropy"),
+            RuleId::GoldenSurface => Some("golden_out"),
+            RuleId::UnsafeForbid | RuleId::BadAnnotation => None,
+        }
+    }
+}
+
+/// Every valid annotation class (for `bad-annotation` validation).
+pub const ALLOW_CLASSES: &[&str] = &["unordered", "entropy", "golden_out"];
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: RuleId,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based position of the offending token.
+    pub line: u32,
+    pub col: u32,
+    /// The matched token (empty for file-level findings).
+    pub token: String,
+    pub message: String,
+}
+
+/// Tokens DET001 hunts for: unordered std collections and the hasher
+/// that seeds them. Matched as whole identifiers in code.
+const UNORDERED_TOKENS: &[&str] = &["HashMap", "HashSet", "RandomState"];
+
+/// Identifier paths DET002 hunts for. Multi-segment patterns match the
+/// exact `a::b` sequence (whitespace-tolerant); the single-segment ones
+/// match a bare identifier.
+const ENTROPY_PATTERNS: &[&[&str]] = &[
+    &["Instant", "now"],
+    &["SystemTime"],
+    &["thread_rng"],
+    &["rand", "random"],
+    &["env", "var"],
+];
+
+/// Macros DET003 forbids outside the allowed modules. `eprint` before
+/// `print` so the longest name wins nothing — matches are whole-ident.
+const GOLDEN_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// Runs every applicable rule over one lexed file.
+pub fn scan_file(sf: &SourceFile, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    let allows = &lexed.allows;
+    validate_allows(sf, allows, findings);
+
+    // DET001/DET002/DET003 look at hand-written code only: `src/` files.
+    // Test and bench code asserts over the protocol, it does not produce
+    // protocol decisions or golden bytes.
+    if sf.kind == FileKind::Src {
+        if in_crates(&sf.crate_name, PROTOCOL_CRATES) {
+            scan_unordered(sf, lexed, findings);
+        }
+        if in_crates(&sf.crate_name, ENTROPY_CRATES) {
+            scan_entropy(sf, lexed, findings);
+        }
+        if in_crates(&sf.crate_name, ENTROPY_CRATES)
+            && !GOLDEN_ALLOWED_FILES.contains(&sf.rel.as_str())
+        {
+            scan_golden_surface(sf, lexed, findings);
+        }
+    }
+
+    if sf.is_crate_root {
+        scan_unsafe_forbid(sf, lexed, findings);
+    }
+}
+
+fn in_crates(name: &str, list: &[&str]) -> bool {
+    list.contains(&name)
+}
+
+fn suppressed(allows: &[Allow], rule: RuleId, line: u32) -> bool {
+    let Some(class) = rule.allow_class() else {
+        return false;
+    };
+    allows
+        .iter()
+        .any(|a| a.applies_to == line && a.class == class && !a.reason.is_empty())
+}
+
+fn push(allows: &[Allow], findings: &mut Vec<Finding>, finding: Finding) {
+    if !suppressed(allows, finding.rule, finding.line) {
+        findings.push(finding);
+    }
+}
+
+/// DET005: every annotation must name a known class and carry a reason.
+fn validate_allows(sf: &SourceFile, allows: &[Allow], findings: &mut Vec<Finding>) {
+    for a in allows {
+        if !ALLOW_CLASSES.contains(&a.class.as_str()) {
+            findings.push(Finding {
+                rule: RuleId::BadAnnotation,
+                file: sf.rel.clone(),
+                line: a.line,
+                col: a.col,
+                token: a.class.clone(),
+                message: format!(
+                    "unknown det: allow class `{}` (expected one of: {})",
+                    a.class,
+                    ALLOW_CLASSES.join(", ")
+                ),
+            });
+        } else if a.reason.is_empty() {
+            findings.push(Finding {
+                rule: RuleId::BadAnnotation,
+                file: sf.rel.clone(),
+                line: a.line,
+                col: a.col,
+                token: a.class.clone(),
+                message: format!(
+                    "det: allow({}: ...) requires a written reason — suppressions without \
+                     justification defeat the audit trail",
+                    a.class
+                ),
+            });
+        }
+    }
+}
+
+/// DET001: unordered collections in protocol crates.
+fn scan_unordered(sf: &SourceFile, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    for tok in UNORDERED_TOKENS {
+        for (line, col) in find_ident(&lexed.masked, tok) {
+            push(
+                &lexed.allows,
+                findings,
+                Finding {
+                    rule: RuleId::UnorderedCollections,
+                    file: sf.rel.clone(),
+                    line,
+                    col,
+                    token: tok.to_string(),
+                    message: format!(
+                        "`{tok}` in a protocol crate: iteration order is hash-seed dependent; \
+                         convert to an ordered collection or add \
+                         `// det: allow(unordered: <why order never escapes>)`"
+                    ),
+                },
+            );
+        }
+    }
+}
+
+/// DET002: ambient entropy sources in sim/protocol/bench crates.
+fn scan_entropy(sf: &SourceFile, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    for pat in ENTROPY_PATTERNS {
+        for (line, col) in find_path(&lexed.masked, pat) {
+            let shown = pat.join("::");
+            push(
+                &lexed.allows,
+                findings,
+                Finding {
+                    rule: RuleId::AmbientEntropy,
+                    file: sf.rel.clone(),
+                    line,
+                    col,
+                    token: shown.clone(),
+                    message: format!(
+                        "`{shown}` is ambient entropy: simulated time and seeded RNG streams \
+                         are the only randomness allowed here; add \
+                         `// det: allow(entropy: <why this cannot reach golden output>)` if the \
+                         value is provably outside the deterministic surface"
+                    ),
+                },
+            );
+        }
+    }
+}
+
+/// DET003: direct stdout/stderr writes outside report/logging.
+fn scan_golden_surface(sf: &SourceFile, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    for mac in GOLDEN_MACROS {
+        for (line, col) in find_macro(&lexed.masked, mac) {
+            push(
+                &lexed.allows,
+                findings,
+                Finding {
+                    rule: RuleId::GoldenSurface,
+                    file: sf.rel.clone(),
+                    line,
+                    col,
+                    token: mac.to_string(),
+                    message: format!(
+                        "`{mac}!` writes directly to the process streams: stdout is the golden \
+                         surface (route through totoro_bench::report) and stderr goes through \
+                         totoro_bench::logging; or add \
+                         `// det: allow(golden_out: <why this stream is not a golden surface>)`"
+                    ),
+                },
+            );
+        }
+    }
+}
+
+/// DET004: crate roots must forbid `unsafe`.
+fn scan_unsafe_forbid(sf: &SourceFile, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    let normalized: String = lexed
+        .masked
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    if !normalized.contains("#![forbid(unsafe_code)]") {
+        findings.push(Finding {
+            rule: RuleId::UnsafeForbid,
+            file: sf.rel.clone(),
+            line: 1,
+            col: 1,
+            token: String::new(),
+            message: "crate root is missing `#![forbid(unsafe_code)]` — every workspace crate \
+                      must forbid unsafe at the root"
+                .to_string(),
+        });
+    }
+}
+
+/// Yields `(line, col)` of each whole-identifier occurrence of `ident`.
+fn find_ident(masked: &str, ident: &str) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let b = masked.as_bytes();
+    let mut from = 0usize;
+    while let Some(p) = masked[from..].find(ident) {
+        let at = from + p;
+        let end = at + ident.len();
+        let bounded =
+            (at == 0 || !is_ident_byte(b[at - 1])) && (end == b.len() || !is_ident_byte(b[end]));
+        if bounded {
+            out.push(line_col(masked, at));
+        }
+        from = end;
+    }
+    out
+}
+
+/// Yields `(line, col)` of each `a::b::c` path occurrence: the first
+/// segment matched as a whole identifier, then `::` and the following
+/// segments with arbitrary whitespace between tokens.
+fn find_path(masked: &str, segments: &[&str]) -> Vec<(u32, u32)> {
+    if segments.len() == 1 {
+        return find_ident(masked, segments[0]);
+    }
+    let mut out = Vec::new();
+    let b = masked.as_bytes();
+    for (line, col) in find_ident(masked, segments[0]) {
+        let at = offset_of(masked, line, col);
+        let mut i = at + segments[0].len();
+        let mut ok = true;
+        for seg in &segments[1..] {
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if !masked[i..].starts_with("::") {
+                ok = false;
+                break;
+            }
+            i += 2;
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if !masked[i..].starts_with(seg)
+                || masked[i + seg.len()..]
+                    .bytes()
+                    .next()
+                    .is_some_and(is_ident_byte)
+            {
+                ok = false;
+                break;
+            }
+            i += seg.len();
+        }
+        if ok {
+            out.push((line, col));
+        }
+    }
+    out
+}
+
+/// Yields `(line, col)` of each `name!` macro invocation.
+fn find_macro(masked: &str, name: &str) -> Vec<(u32, u32)> {
+    let b = masked.as_bytes();
+    find_ident(masked, name)
+        .into_iter()
+        .filter(|&(line, col)| {
+            let mut i = offset_of(masked, line, col) + name.len();
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            b.get(i) == Some(&b'!')
+        })
+        .collect()
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Byte offset of 1-based `(line, col)` in `text`.
+fn offset_of(text: &str, line: u32, col: u32) -> usize {
+    let mut remaining = line - 1;
+    let mut off = 0usize;
+    for (i, c) in text.char_indices() {
+        if remaining == 0 {
+            return i + (col as usize - 1);
+        }
+        if c == '\n' {
+            remaining -= 1;
+            off = i + 1;
+        }
+    }
+    off + (col as usize - 1)
+}
+
+/// 1-based `(line, col)` of byte offset `at` in `text`.
+fn line_col(text: &str, at: usize) -> (u32, u32) {
+    let before = &text[..at];
+    let line = before.matches('\n').count() as u32 + 1;
+    let col = (at - before.rfind('\n').map(|p| p + 1).unwrap_or(0)) as u32 + 1;
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn src_file(rel: &str, crate_name: &str, kind: FileKind, root: bool) -> SourceFile {
+        SourceFile {
+            rel: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            kind,
+            is_crate_root: root,
+        }
+    }
+
+    fn scan(rel: &str, crate_name: &str, src: &str) -> Vec<Finding> {
+        let sf = src_file(rel, crate_name, FileKind::Src, rel.ends_with("src/lib.rs"));
+        let lexed = lex(src);
+        let mut findings = Vec::new();
+        scan_file(&sf, &lexed, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn hashmap_in_protocol_crate_is_flagged_with_position() {
+        let f = scan(
+            "crates/pubsub/src/forest.rs",
+            "pubsub",
+            "use std::collections::BTreeMap;\nlet m: HashMap<u8, u8> = x();\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::UnorderedCollections);
+        assert_eq!((f[0].line, f[0].col), (2, 8));
+    }
+
+    #[test]
+    fn annotated_hashmap_is_suppressed_trailing_and_preceding() {
+        let ok = scan(
+            "crates/pubsub/src/forest.rs",
+            "pubsub",
+            "let m: HashMap<u8, u8> = x(); // det: allow(unordered: key-only lookups)\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let ok = scan(
+            "crates/pubsub/src/forest.rs",
+            "pubsub",
+            "// det: allow(unordered: key-only lookups)\nlet m: HashMap<u8, u8> = x();\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress_and_is_itself_flagged() {
+        let f = scan(
+            "crates/pubsub/src/forest.rs",
+            "pubsub",
+            "let m: HashMap<u8, u8> = x(); // det: allow(unordered)\n",
+        );
+        let rules: Vec<RuleId> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&RuleId::UnorderedCollections));
+        assert!(rules.contains(&RuleId::BadAnnotation));
+    }
+
+    #[test]
+    fn unknown_allow_class_is_flagged() {
+        let f = scan(
+            "crates/dht/src/node.rs",
+            "dht",
+            "let x = 1; // det: allow(speed: because)\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::BadAnnotation);
+    }
+
+    #[test]
+    fn entropy_paths_are_matched_across_whitespace() {
+        let f = scan(
+            "crates/simnet/src/sim.rs",
+            "simnet",
+            "let t = Instant ::\n    now();\nlet v = std::env::var(\"X\");\n",
+        );
+        let tokens: Vec<&str> = f.iter().map(|x| x.token.as_str()).collect();
+        assert!(tokens.contains(&"Instant::now"));
+        assert!(tokens.contains(&"env::var"));
+    }
+
+    #[test]
+    fn instant_import_alone_is_not_flagged() {
+        let f = scan(
+            "crates/bench/src/scenarios/simcore.rs",
+            "bench",
+            "use std::time::Instant;\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn env_args_is_not_env_var() {
+        let f = scan(
+            "crates/bench/src/bin/x.rs",
+            "bench",
+            "let a: Vec<String> = std::env::args().collect();\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn println_flagged_everywhere_but_allowed_modules() {
+        let f = scan(
+            "crates/bench/src/bin/totoro_bench.rs",
+            "bench",
+            "println!(\"hi\");\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::GoldenSurface);
+        let ok = scan(
+            "crates/bench/src/logging.rs",
+            "bench",
+            "eprintln!(\"hi\");\n",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn eprint_does_not_shadow_print_boundaries() {
+        // `eprint!` must match eprint (1 finding), not also `print`.
+        let f = scan("crates/core/src/x.rs", "core", "eprint!(\"a\");\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].token, "eprint");
+    }
+
+    #[test]
+    fn non_macro_print_identifier_is_not_flagged() {
+        let f = scan(
+            "crates/core/src/x.rs",
+            "core",
+            "fn print(x: u8) {}\nprint(3);\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn crate_root_without_forbid_unsafe_is_flagged() {
+        let sf = src_file("crates/foo/src/lib.rs", "foo", FileKind::Src, true);
+        let lexed = lex("pub fn f() {}\n");
+        let mut f = Vec::new();
+        scan_file(&sf, &lexed, &mut f);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::UnsafeForbid);
+        let lexed = lex("#![forbid(unsafe_code)]\npub fn f() {}\n");
+        let mut ok = Vec::new();
+        scan_file(&sf, &lexed, &mut ok);
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn forbid_attr_inside_comment_does_not_satisfy_det004() {
+        let sf = src_file("crates/foo/src/lib.rs", "foo", FileKind::Src, true);
+        let lexed = lex("// #![forbid(unsafe_code)]\npub fn f() {}\n");
+        let mut f = Vec::new();
+        scan_file(&sf, &lexed, &mut f);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn non_protocol_crates_are_out_of_scope_for_collections() {
+        let f = scan(
+            "crates/detlint/src/rules.rs",
+            "detlint",
+            "let m: HashMap<u8,u8> = x();\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn tests_and_benches_are_out_of_scope_for_line_rules() {
+        let sf = src_file(
+            "crates/pubsub/tests/forest.rs",
+            "pubsub",
+            FileKind::Tests,
+            false,
+        );
+        let lexed = lex("let m: HashMap<u8,u8> = x(); println!(\"t\");\n");
+        let mut f = Vec::new();
+        scan_file(&sf, &lexed, &mut f);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn hashmap_inside_raw_string_or_comment_is_not_flagged() {
+        let f = scan(
+            "crates/pubsub/src/forest.rs",
+            "pubsub",
+            "// a HashMap lives here\nlet s = r#\"HashMap\"#;\nlet t = \"HashMap\";\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end rule checks against the deliberate-violation fixture tree
+//! under `tests/fixtures/ws/` — one breach per rule, plus decoys
+//! (annotated sites, strings, comments) that must stay silent. Asserting
+//! the *exact* diagnostic set pins file, line, and column reporting.
+
+use std::path::Path;
+
+use totoro_detlint::lint_root;
+
+fn fixture_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("ws")
+}
+
+#[test]
+fn fixture_tree_yields_exactly_one_violation_per_rule_site() {
+    let report = lint_root(&fixture_root()).expect("fixture tree lints");
+    let got: Vec<(String, String, u32, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.code().to_string(), f.file.clone(), f.line, f.col))
+        .collect();
+    let want: Vec<(String, String, u32, u32)> = [
+        ("DET003", "crates/bench/src/bin/run.rs", 4, 5),
+        ("DET005", "crates/core/src/lib.rs", 6, 1),
+        ("DET005", "crates/core/src/lib.rs", 8, 15),
+        ("DET004", "crates/dht/src/lib.rs", 1, 1),
+        ("DET001", "crates/pubsub/src/lib.rs", 8, 17),
+        ("DET002", "crates/simnet/src/sim.rs", 5, 17),
+    ]
+    .into_iter()
+    .map(|(r, f, l, c)| (r.to_string(), f.to_string(), l, c))
+    .collect();
+    assert_eq!(got, want, "full diagnostic set:\n{:#?}", report.findings);
+}
+
+#[test]
+fn fixture_decoy_suppressions_appear_in_the_allow_audit() {
+    let report = lint_root(&fixture_root()).expect("fixture tree lints");
+    // The two *valid* suppressions (pubsub's annotated map, simnet's
+    // env::var decoy) are listed with their reasons; the malformed ones
+    // in core are listed too — the audit view hides nothing.
+    let classes: Vec<&str> = report
+        .allows
+        .iter()
+        .map(|(_, a)| a.class.as_str())
+        .collect();
+    assert!(classes.contains(&"unordered"));
+    assert!(classes.contains(&"entropy"));
+    assert!(
+        classes.contains(&"speed"),
+        "malformed allows stay auditable"
+    );
+}
+
+#[test]
+fn each_rule_fires_and_each_annotated_decoy_is_silent() {
+    let report = lint_root(&fixture_root()).expect("fixture tree lints");
+    let codes: Vec<&str> = report.findings.iter().map(|f| f.rule.code()).collect();
+    for rule in ["DET001", "DET002", "DET003", "DET004", "DET005"] {
+        assert!(codes.contains(&rule), "{rule} must fire on its fixture");
+    }
+    // The annotated HashMap in pubsub's `Good` struct (line 13) and the
+    // suppressed env::var in simnet (line 11) must not be flagged.
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.line == 13 && f.file.contains("pubsub")),
+        "annotated decoy was flagged"
+    );
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.line == 11 && f.file.contains("simnet")),
+        "suppressed env::var decoy was flagged"
+    );
+    // The allowed module may print.
+    assert!(!report.findings.iter().any(|f| f.file.contains("report.rs")));
+}

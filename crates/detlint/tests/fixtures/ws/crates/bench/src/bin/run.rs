@@ -1,0 +1,7 @@
+//! Fixture: one deliberate DET003 violation (line 4).
+
+fn main() {
+    println!("stdout is the golden surface");
+    let msg = "println! inside a string is not a violation";
+    let _ = msg;
+}

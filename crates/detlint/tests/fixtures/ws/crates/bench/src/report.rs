@@ -1,0 +1,5 @@
+//! Fixture: the allowed module — direct prints here are legal.
+
+pub fn emit(text: &str) {
+    print!("{text}");
+}

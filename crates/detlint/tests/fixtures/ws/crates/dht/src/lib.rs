@@ -1,0 +1,4 @@
+//! Fixture: deliberate DET004 violation — this crate root is missing
+//! `#![forbid(unsafe_code)]` (mentioning it in a comment must not count).
+
+pub fn routing() {}

@@ -1,0 +1,18 @@
+//! Fixture: one deliberate DET001 violation (line 8), plus decoys that
+//! must NOT be flagged: a properly annotated map, a HashMap in this very
+//! comment, one in a raw string, and one in a plain string.
+
+#![forbid(unsafe_code)]
+
+pub struct Bad {
+    pub timers: HashMap<u64, u64>,
+}
+
+pub struct Good {
+    // det: allow(unordered: key-only lookups; never iterated)
+    pub timers: HashMap<u64, u64>,
+}
+
+pub fn decoys() -> (&'static str, &'static str) {
+    (r#"raw HashMap decoy"#, "string HashMap decoy")
+}

@@ -1,0 +1,13 @@
+//! Fixture: one deliberate DET002 violation (line 5). The commented call
+//! below must not be flagged: // let t = Instant::now();
+
+pub fn bad_clock() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn good_clock(now: u64) -> u64 {
+    // det: allow(entropy: fixture decoy proving suppression works)
+    let pid = std::env::var("FIXTURE").map(|v| v.len() as u64).unwrap_or(0);
+    now + pid
+}

@@ -1,0 +1,61 @@
+//! The workspace self-lint: `cargo test` fails if any determinism rule
+//! (DESIGN.md §11) is violated anywhere in the live tree.
+//!
+//! This is the static half of the determinism contract — the golden
+//! tests in `crates/bench/tests/golden.rs` catch a nondeterminism bug
+//! *after* it skews output; this test rejects the code shape that breeds
+//! such bugs before it ever runs. Every suppression must carry a written
+//! reason (`totoro-detlint --list-allows` audits them; the current set is
+//! committed to DESIGN.md §11).
+
+use std::path::Path;
+
+use totoro_detlint::{diag, lint_root};
+
+/// `crates/detlint` → workspace root.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/detlint sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_has_no_determinism_violations() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let report = lint_root(root).expect("workspace lints");
+    assert!(
+        report.findings.is_empty(),
+        "determinism violations in the workspace:\n{}",
+        diag::render_report(&report.findings, report.files_scanned)
+    );
+    // Sanity: the walk actually saw the tree (all 8 protocol/bench crates
+    // plus detlint, tests, examples, and the vendored stubs).
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — discovery is broken",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn every_suppression_in_the_tree_carries_a_reason() {
+    let report = lint_root(workspace_root()).expect("workspace lints");
+    for (file, allow) in &report.allows {
+        assert!(
+            !allow.reason.trim().is_empty(),
+            "{file}:{} det: allow({}) has no reason",
+            allow.line,
+            allow.class
+        );
+    }
+    assert!(
+        !report.allows.is_empty(),
+        "the tree documents its known-safe sites via det: allow annotations"
+    );
+}

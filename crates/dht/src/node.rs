@@ -6,7 +6,7 @@
 //! implementation: key-based routing with per-hop interception (the hook
 //! Scribe trees are built on), direct messages, and failure notifications.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // det: allow(unordered: import only; every declaration and construction site below carries its own proof)
 
 use totoro_simnet::{ComputeKind, Ctx, NodeIdx, Payload, Shared, SimDuration, SimTime};
 
@@ -342,6 +342,7 @@ pub struct DhtNode<U: UpperLayer> {
     bootstrap: Option<NodeIdx>,
     joined: bool,
     tick: u64,
+    // det: allow(unordered: keyed insert/remove/contains/entry by peer address only; liveness sweeps iterate the ordered leaf set and probe this map per key, so hash order never decides any protocol step)
     last_seen: HashMap<NodeIdx, SimTime>,
     pending_local: Vec<(Id, NodeIdx, U::P)>,
 }
@@ -364,7 +365,7 @@ impl<U: UpperLayer> DhtNode<U> {
             bootstrap,
             joined: bootstrap.is_none(),
             tick: 0,
-            last_seen: HashMap::new(),
+            last_seen: HashMap::new(), // det: allow(unordered: construction of the key-only map proven at its field declaration)
             pending_local: Vec::new(),
         }
     }

@@ -9,7 +9,7 @@
 //! forwarders/aggregators, leaves as workers. Model broadcast travels down
 //! the tree; gradient aggregation climbs it with in-network combining.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap}; // det: allow(unordered: import only; every declaration and construction site below carries its own proof)
 
 use totoro_dht::{Contact, DhtApi, Id, UpperLayer};
 use totoro_simnet::{ComputeKind, NodeIdx, Shared, SimDuration, SimTime};
@@ -132,6 +132,7 @@ pub struct ForestState<D> {
     // resulting message order must not depend on the process's hash seed
     // (bit-identical reruns are part of the bench contract).
     trees: BTreeMap<Id, Membership<D>>,
+    // det: allow(unordered: token-keyed insert/remove only — timer fire looks up one token, `memory_bytes` takes len; never iterated, so hash order cannot reach message order or report output)
     round_timers: HashMap<u64, (Id, u64)>,
     next_round_token: u64,
     pending_flush: Vec<(Id, u64)>,
@@ -149,7 +150,7 @@ impl<D> ForestState<D> {
     fn new() -> Self {
         ForestState {
             trees: BTreeMap::new(),
-            round_timers: HashMap::new(),
+            round_timers: HashMap::new(), // det: allow(unordered: construction of the key-only map proven at its field declaration)
             next_round_token: 1,
             pending_flush: Vec::new(),
             broadcast_log: Vec::new(),

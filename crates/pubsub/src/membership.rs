@@ -1,6 +1,6 @@
 //! Per-topic tree membership and per-round aggregation state.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // det: allow(unordered: import only; every declaration and construction site below carries its own proof)
 
 use totoro_bandit::LinkStats;
 use totoro_dht::{Contact, Id};
@@ -72,6 +72,7 @@ pub struct Membership<D> {
     /// When the in-flight JOIN was sent (for retry).
     pub join_sent: SimTime,
     /// Per-round aggregation state.
+    // det: allow(unordered: keyed entry/get by the round number carried in each message; `prune_rounds`' retain predicate is key-only and side-effect-free, `memory_bytes` takes len — hash order never escapes)
     pub rounds: HashMap<u64, RoundAgg<D>>,
     /// Round of the most recent broadcast seen.
     pub last_broadcast_round: Option<u64>,
@@ -94,7 +95,7 @@ impl<D> Membership<D> {
             last_parent_seen: now,
             joining: false,
             join_sent: now,
-            rounds: HashMap::new(),
+            rounds: HashMap::new(), // det: allow(unordered: construction of the key-only map proven at its field declaration)
             last_broadcast_round: None,
             parent_link: LinkStats::default(),
         }

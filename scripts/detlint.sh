@@ -1,0 +1,11 @@
+#!/bin/bash
+# Runs the workspace determinism linter (crates/detlint, DESIGN.md §11)
+# over the live tree. Exit 0 means no violations; exit 1 lists rustc-style
+# diagnostics; exit 2 is a usage/IO failure.
+#
+# Extra flags are passed straight through, e.g.:
+#   ./scripts/detlint.sh --json          machine-readable report
+#   ./scripts/detlint.sh --list-allows   audit every suppression + reason
+set -e
+cd "$(dirname "$0")/.."
+cargo run -q --release -p totoro-detlint -- "$@"

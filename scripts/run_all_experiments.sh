@@ -7,6 +7,9 @@
 # parallel; output is bit-identical regardless): JOBS=8 ./run_all_experiments.sh
 set -ex
 cd "$(dirname "$0")/.."
+# Preflight: refuse to burn hours of simulation on a tree that violates
+# the static determinism contract (DESIGN.md §11).
+./scripts/detlint.sh
 mkdir -p results
 B=target/release/totoro-bench
 JOBS="${JOBS:-$(nproc)}"

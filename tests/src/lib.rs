@@ -1,1 +1,3 @@
+//! Workspace-level integration test crate: all tests live in `tests/`.
 
+#![forbid(unsafe_code)]

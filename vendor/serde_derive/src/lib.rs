@@ -7,6 +7,8 @@
 //! writer). The vendored `serde` crate's traits are blanket-implemented, so
 //! these derives only need to *exist and parse*; they expand to nothing.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Accepts and discards a `#[derive(Serialize)]` invocation.
