@@ -39,10 +39,10 @@ use totoro_pubsub::{ForestConfig, ForestNode, TreeMsg};
 use totoro_simnet::{
     run_with_invariants, sub_rng, ChaosStats, CheckpointConfig, ChurnSchedule, Fault, FaultKind,
     FaultPlan, Invariant, InvariantPhase, NodeIdx, NoopSink, SimDuration, SimTime, Simulator,
-    TraceSink, Violation,
+    TraceRecord, TraceSink, Violation,
 };
 
-use crate::scenario::{Params, Scenario, Trial, TrialReport};
+use crate::scenario::{Params, Scenario, SinkSpec, Trial, TrialReport};
 use crate::setups::{echo_overlay_with_sink, eua_topology, topic, Blob, EchoApp, EchoSim};
 
 /// The canned plan names accepted by [`canned_plan`] and the CLI.
@@ -1052,7 +1052,11 @@ impl Scenario for ChaosScenario {
         Trial::seal(trials)
     }
 
-    fn run(&self, trial: &Trial) -> TrialReport {
+    fn run_with_sink(
+        &self,
+        trial: &Trial,
+        _sink: &SinkSpec,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>) {
         let spec = spec_for(trial);
         let outcome = run_chaos_trial(&spec, None);
         let mut report = TrialReport::for_trial(trial);
@@ -1092,7 +1096,7 @@ impl Scenario for ChaosScenario {
                 shrunk.atoms.join("; ")
             ));
         }
-        report
+        (report, None)
     }
 
     fn render(&self, params: &Params, reports: &[TrialReport]) -> String {

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use totoro_simnet::TrialReport as SimAccounting;
-use totoro_simnet::{chrome_trace_multi, jsonl_trace_multi, TraceRecord};
+use totoro_simnet::{chrome_trace_multi, jsonl_trace_multi, RecordingSink, TraceRecord};
 
 /// Common experiment parameters, parsed once by the driver.
 ///
@@ -317,6 +317,45 @@ impl TraceOptions {
     }
 }
 
+/// Which trace sink a trial's simulators should run with.
+///
+/// The engine builds one spec per execution — untraced for plain runs,
+/// traced when `--trace` was given — and passes it to every
+/// [`Scenario::run_with_sink`] call. Scenarios that support tracing call
+/// [`SinkSpec::recording`] per simulator; `None` means run with the
+/// zero-cost [`totoro_simnet::NoopSink`]. Scenarios that never trace
+/// simply ignore the spec.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SinkSpec {
+    trace: Option<TraceOptions>,
+}
+
+impl SinkSpec {
+    /// A spec requesting no tracing (the common case).
+    pub fn untraced() -> Self {
+        SinkSpec { trace: None }
+    }
+
+    /// A spec requesting record buffering with `opts`.
+    pub fn traced(opts: TraceOptions) -> Self {
+        SinkSpec { trace: Some(opts) }
+    }
+
+    /// Whether tracing was requested.
+    pub fn is_traced(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// A fresh [`RecordingSink`] honoring the requested layer filter, or
+    /// `None` when the trial should run untraced. Every simulator needs
+    /// its own sink; call this once per simulator built.
+    pub fn recording(&self) -> Option<RecordingSink> {
+        self.trace
+            .as_ref()
+            .map(|opts| RecordingSink::new(0).with_layer_filter(opts.filter.clone()))
+    }
+}
+
 /// One registered experiment: expansion, execution, and rendering.
 ///
 /// Implementations must be `Sync`: `run` is called concurrently from worker
@@ -337,25 +376,35 @@ pub trait Scenario: Sync {
     /// Expands parameters into the ordered trial list.
     fn trials(&self, params: &Params) -> Vec<Trial>;
 
-    /// Runs one trial to completion and returns its report.
-    fn run(&self, trial: &Trial) -> TrialReport;
-
-    /// [`Scenario::run`] with tracing requested: scenarios that support
-    /// tracing install a [`totoro_simnet::RecordingSink`] and return the
-    /// buffered records alongside the report. The default ignores `opts`
-    /// and returns no records, so tracing-unaware scenarios keep working
-    /// (the driver reports an empty trace).
+    /// Runs one trial to completion under the requested sink — the single
+    /// execution entry point. Plain runs receive [`SinkSpec::untraced`];
+    /// traced runs receive a spec whose [`SinkSpec::recording`] yields a
+    /// buffering sink per simulator, and the scenario returns the drained
+    /// records alongside the report. Scenarios that never trace ignore
+    /// `sink` and return `None` records (the driver reports an empty
+    /// trace).
     ///
-    /// Contract: the returned report must be byte-for-byte the report
-    /// [`Scenario::run`] produces (sinks observe, never perturb), except
+    /// Contract: the report must be byte-for-byte identical whether or
+    /// not tracing was requested (sinks observe, never perturb), except
     /// for the optional `sim.obs` metrics section.
+    fn run_with_sink(
+        &self,
+        trial: &Trial,
+        sink: &SinkSpec,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>);
+
+    /// Compat shim: [`Scenario::run_with_sink`] untraced, report only.
+    fn run(&self, trial: &Trial) -> TrialReport {
+        self.run_with_sink(trial, &SinkSpec::untraced()).0
+    }
+
+    /// Compat shim: [`Scenario::run_with_sink`] with tracing requested.
     fn run_traced(
         &self,
         trial: &Trial,
         opts: &TraceOptions,
     ) -> (TrialReport, Option<Vec<TraceRecord>>) {
-        let _ = opts;
-        (self.run(trial), None)
+        self.run_with_sink(trial, &SinkSpec::traced(opts.clone()))
     }
 
     /// Renders the ordered reports into the artifact text.
@@ -492,9 +541,9 @@ pub fn execute(scenario: &dyn Scenario, params: &Params) -> String {
 pub fn execute_traced(scenario: &dyn Scenario, params: &Params) -> (String, Option<String>) {
     let trials = Trial::seal(scenario.trials(params));
     let (reports, trace) = if params.trace.is_some() {
-        let opts = TraceOptions::from_params(params);
+        let spec = SinkSpec::traced(TraceOptions::from_params(params));
         let results = run_trials_with(trials.len(), params.jobs, |i| {
-            scenario.run_traced(&trials[i], &opts)
+            scenario.run_with_sink(&trials[i], &spec)
         });
         let mut reports = Vec::with_capacity(results.len());
         let mut groups: Vec<(u64, Vec<TraceRecord>)> = Vec::new();
@@ -505,8 +554,8 @@ pub fn execute_traced(scenario: &dyn Scenario, params: &Params) -> (String, Opti
             }
         }
         if groups.is_empty() {
-            // The default `run_traced` returns no records: this scenario
-            // has not been wired for tracing (only a per-scenario override
+            // `run_with_sink` returned no records for any trial: this
+            // scenario has not been wired for tracing (only the scenario
             // knows which simulator runs to record).
             crate::logging::info(format_args!(
                 "note: scenario {:?} does not implement tracing; the trace will be empty",
@@ -599,7 +648,11 @@ mod tests {
                     .collect(),
             )
         }
-        fn run(&self, trial: &Trial) -> TrialReport {
+        fn run_with_sink(
+            &self,
+            trial: &Trial,
+            _sink: &SinkSpec,
+        ) -> (TrialReport, Option<Vec<TraceRecord>>) {
             let mut r = TrialReport::for_trial(trial);
             // Uneven work so completion order differs from trial order.
             let spins = (trial.index % 7) * 1_000;
@@ -609,7 +662,7 @@ mod tests {
             }
             std::hint::black_box(acc);
             r.push_metric("i", trial.get("i") as f64);
-            r
+            (r, None)
         }
         fn render(&self, _params: &Params, reports: &[TrialReport]) -> String {
             let vals: Vec<String> = reports
@@ -646,6 +699,32 @@ mod tests {
         assert_eq!(execute(&Echo, &p1), execute(&Echo, &p8));
     }
 
+    #[test]
+    fn compat_shims_delegate_to_run_with_sink() {
+        let params = Params {
+            nodes: 3,
+            ..Params::default()
+        };
+        let trials = Trial::seal(Echo.trials(&params));
+        let (via_sink, records) = Echo.run_with_sink(&trials[1], &SinkSpec::untraced());
+        assert!(records.is_none());
+        assert_eq!(Echo.run(&trials[1]), via_sink);
+        let (traced, records) = Echo.run_traced(&trials[1], &TraceOptions::default());
+        assert_eq!(traced, via_sink);
+        assert!(records.is_none());
+    }
+
+    #[test]
+    fn sink_spec_builds_recording_sinks_only_when_traced() {
+        assert!(!SinkSpec::untraced().is_traced());
+        assert!(SinkSpec::untraced().recording().is_none());
+        let spec = SinkSpec::traced(TraceOptions {
+            filter: Some("forest".into()),
+        });
+        assert!(spec.is_traced());
+        assert!(spec.recording().is_some());
+    }
+
     /// Two trials rendezvous at a barrier inside `run`: this can only
     /// complete if the pool really executes them on distinct threads at the
     /// same time (a serial engine would deadlock and time out).
@@ -662,9 +741,13 @@ mod tests {
             fn trials(&self, _params: &Params) -> Vec<Trial> {
                 Trial::seal(vec![Trial::new("a", 0), Trial::new("b", 0)])
             }
-            fn run(&self, trial: &Trial) -> TrialReport {
+            fn run_with_sink(
+                &self,
+                trial: &Trial,
+                _sink: &SinkSpec,
+            ) -> (TrialReport, Option<Vec<TraceRecord>>) {
                 self.0.wait();
-                TrialReport::for_trial(trial)
+                (TrialReport::for_trial(trial), None)
             }
             fn render(&self, _params: &Params, reports: &[TrialReport]) -> String {
                 format!("{}", reports.len())

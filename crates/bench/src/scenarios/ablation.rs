@@ -10,11 +10,11 @@
 //! aggregation makespan for an O(N/fanout)-fold cut in master load.
 
 use crate::report::{csv_block, f2, markdown_table};
-use crate::scenario::{Params, Scenario, Trial, TrialReport};
+use crate::scenario::{Params, Scenario, SinkSpec, Trial, TrialReport};
 use crate::setups::{
     broadcast_from_root, build_tree, echo_overlay_with, eua_topology, root_of, topic,
 };
-use totoro_simnet::SimTime;
+use totoro_simnet::{SimTime, TraceRecord};
 
 const SIZES: [usize; 3] = [64, 256, 1024];
 const SHAPES: [(&str, usize); 3] = [("tree-f4", 4), ("tree-f8", 8), ("uncapped", 0)];
@@ -54,7 +54,11 @@ impl Scenario for Ablation {
         trials
     }
 
-    fn run(&self, trial: &Trial) -> TrialReport {
+    fn run_with_sink(
+        &self,
+        trial: &Trial,
+        _sink: &SinkSpec,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>) {
         let n = trial.get_usize("n");
         let fanout = trial.get_usize("fanout");
         let update_bytes = trial.get_usize("update_bytes");
@@ -111,7 +115,7 @@ impl Scenario for Ablation {
             "makespan_ms",
             agg_at.saturating_since(start).as_secs_f64() * 1_000.0,
         );
-        report
+        (report, None)
     }
 
     fn render(&self, params: &Params, reports: &[TrialReport]) -> String {

@@ -10,7 +10,8 @@
 use totoro_bandit::{layered, mean_regret_curve, trap_graph, LinkGraph, Policy, Vertex};
 
 use crate::report::{csv_block, f2, markdown_table};
-use crate::scenario::{Params, Scenario, Trial, TrialReport};
+use crate::scenario::{Params, Scenario, SinkSpec, Trial, TrialReport};
+use totoro_simnet::TraceRecord;
 
 const POLICIES: [Policy; 4] = [
     Policy::HopByHopKlUcb,
@@ -83,7 +84,11 @@ impl Scenario for Fig10 {
         trials
     }
 
-    fn run(&self, trial: &Trial) -> TrialReport {
+    fn run_with_sink(
+        &self,
+        trial: &Trial,
+        _sink: &SinkSpec,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>) {
         let packets = trial.get_usize("packets");
         let runs = trial.get_usize("runs");
         let policy = POLICIES[trial.get_usize("policy")];
@@ -105,7 +110,7 @@ impl Scenario for Fig10 {
             })
             .collect();
         report.push_series("checkpoints", checkpoints);
-        report
+        (report, None)
     }
 
     fn render(&self, params: &Params, reports: &[TrialReport]) -> String {

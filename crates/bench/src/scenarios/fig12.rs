@@ -7,9 +7,9 @@
 //! fully in parallel and without any central coordinator (§4.5).
 
 use crate::report::{csv_block, f2, markdown_table, percentile};
-use crate::scenario::{Params, Scenario, Trial, TrialReport};
+use crate::scenario::{Params, Scenario, SinkSpec, Trial, TrialReport};
 use crate::setups::{build_tree, echo_overlay, eua_topology, topic};
-use totoro_simnet::{sub_rng, ChurnSchedule, SimTime};
+use totoro_simnet::{sub_rng, ChurnSchedule, SimTime, TraceRecord};
 
 const TREE_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 const REPS: u64 = 3;
@@ -61,7 +61,11 @@ impl Scenario for Fig12 {
         trials
     }
 
-    fn run(&self, trial: &Trial) -> TrialReport {
+    fn run_with_sink(
+        &self,
+        trial: &Trial,
+        _sink: &SinkSpec,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>) {
         let n = trial.get_usize("n");
         let trees = trial.get_usize("trees");
         let fail_frac = trial.get("fail_ppm") as f64 / 1e6;
@@ -124,7 +128,7 @@ impl Scenario for Fig12 {
         report.sim = totoro_simnet::TrialReport::capture(&sim);
         report.push_metric("killed", killed as f64);
         report.push_series("episodes", episodes);
-        report
+        (report, None)
     }
 
     fn render(&self, params: &Params, reports: &[TrialReport]) -> String {

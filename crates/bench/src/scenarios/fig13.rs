@@ -16,10 +16,10 @@ use totoro_baselines::{CentralizedEngine, ServerProfile};
 use totoro_dht::DhtConfig;
 use totoro_ml::{text_classification_like, TaskGenerator};
 use totoro_pubsub::ForestConfig;
-use totoro_simnet::{sub_rng, Application, SimTime, Topology};
+use totoro_simnet::{sub_rng, Application, SimTime, Topology, TraceRecord};
 
 use crate::report::{csv_block, f2, markdown_table};
-use crate::scenario::{Params, Scenario, Trial, TrialReport};
+use crate::scenario::{Params, Scenario, SinkSpec, Trial, TrialReport};
 use crate::setups::{fl_app_config, to_central_spec};
 
 /// Figure 13 scenario (`fig13`).
@@ -56,7 +56,11 @@ impl Scenario for Fig13 {
             .collect()
     }
 
-    fn run(&self, trial: &Trial) -> TrialReport {
+    fn run_with_sink(
+        &self,
+        trial: &Trial,
+        _sink: &SinkSpec,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>) {
         let n = trial.get_usize("n");
         let samples = trial.get_usize("samples");
         let rounds = trial.get("rounds");
@@ -122,7 +126,7 @@ impl Scenario for Fig13 {
             report.push_metric("dht_s", report.sim.dht_us as f64 / 1e6);
             report.push_series("mem_kib", mem_series);
         }
-        report
+        (report, None)
     }
 
     fn render(&self, params: &Params, reports: &[TrialReport]) -> String {

@@ -10,11 +10,11 @@
 //!   showing balanced roots/forwarders/leaves.
 
 use crate::report::{csv_block, f2, markdown_table, stats};
-use crate::scenario::{Params, Scenario, TraceOptions, Trial, TrialReport};
+use crate::scenario::{Params, Scenario, SinkSpec, Trial, TrialReport};
 use crate::setups::{build_tree, echo_overlay_sink, eua_topology, root_of, topic};
 use totoro::{masters_per_node, quantile, role_census};
 use totoro_simnet::{
-    assign_zones, sub_rng, BinningConfig, NoopSink, RecordingSink, SimTime, TraceRecord, TraceSink,
+    assign_zones, sub_rng, BinningConfig, NoopSink, SimTime, TraceRecord, TraceSink,
 };
 
 /// Figure 5 scenario (`fig5`).
@@ -49,28 +49,26 @@ impl Scenario for Fig5 {
         ]
     }
 
-    fn run(&self, trial: &Trial) -> TrialReport {
-        match trial.setup.as_str() {
-            "zones" => run_zones(trial),
-            "masters" => run_masters(trial, NoopSink).0,
-            "masters_per_zone" => run_masters_per_zone(trial, NoopSink).0,
-            "branches" => run_branches(trial, NoopSink).0,
-            other => panic!("fig5 has no setup {other:?}"),
-        }
-    }
-
-    fn run_traced(
+    fn run_with_sink(
         &self,
         trial: &Trial,
-        opts: &TraceOptions,
+        sink: &SinkSpec,
     ) -> (TrialReport, Option<Vec<TraceRecord>>) {
-        let sink = RecordingSink::new(0).with_layer_filter(opts.filter.clone());
+        if let Some(rec) = sink.recording() {
+            // "zones" runs no simulator — nothing to trace; fall through.
+            match trial.setup.as_str() {
+                "masters" => return run_masters(trial, rec),
+                "masters_per_zone" => return run_masters_per_zone(trial, rec),
+                "branches" => return run_branches(trial, rec),
+                _ => {}
+            }
+        }
         match trial.setup.as_str() {
-            "masters" => run_masters(trial, sink),
-            "masters_per_zone" => run_masters_per_zone(trial, sink),
-            "branches" => run_branches(trial, sink),
-            // "zones" runs no simulator — nothing to trace.
-            _ => (self.run(trial), None),
+            "zones" => (run_zones(trial), None),
+            "masters" => run_masters(trial, NoopSink),
+            "masters_per_zone" => run_masters_per_zone(trial, NoopSink),
+            "branches" => run_branches(trial, NoopSink),
+            other => panic!("fig5 has no setup {other:?}"),
         }
     }
 

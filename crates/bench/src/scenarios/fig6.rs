@@ -7,10 +7,10 @@
 //! are bounded by tree depth = O(log N).
 
 use crate::report::{csv_block, f2, f3, markdown_table};
-use crate::scenario::{Params, Scenario, Trial, TrialReport};
+use crate::scenario::{Params, Scenario, SinkSpec, Trial, TrialReport};
 use crate::setups::{broadcast_from_root, build_tree, echo_overlay, eua_topology, root_of, topic};
 use totoro_dht::{implicit_route_hops, random_ids, Id};
-use totoro_simnet::{sub_rng, SimTime};
+use totoro_simnet::{sub_rng, SimTime, TraceRecord};
 
 /// Figure 6 scenario (`fig6`).
 pub struct Fig6;
@@ -60,12 +60,17 @@ impl Scenario for Fig6 {
         trials
     }
 
-    fn run(&self, trial: &Trial) -> TrialReport {
-        match trial.setup.as_str() {
+    fn run_with_sink(
+        &self,
+        trial: &Trial,
+        _sink: &SinkSpec,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>) {
+        let report = match trial.setup.as_str() {
             "scale" | "fanout" => run_measure(trial),
             "hops" => run_hops(trial),
             other => panic!("fig6 has no setup {other:?}"),
-        }
+        };
+        (report, None)
     }
 
     fn render(&self, params: &Params, reports: &[TrialReport]) -> String {

@@ -11,10 +11,10 @@
 //! report mean wire bytes per node under the TCP and UDP overhead models.
 
 use crate::report::{csv_block, f2, markdown_table};
-use crate::scenario::{Params, Scenario, Trial, TrialReport};
+use crate::scenario::{Params, Scenario, SinkSpec, Trial, TrialReport};
 use crate::setups::{build_tree, echo_overlay_with, eua_topology, topic};
 use totoro_pubsub::ForestConfig;
-use totoro_simnet::{sub_rng, SimDuration, SimTime};
+use totoro_simnet::{sub_rng, SimDuration, SimTime, TraceRecord};
 
 /// Figure 7 scenario (`fig7`).
 pub struct Fig7;
@@ -49,7 +49,11 @@ impl Scenario for Fig7 {
             .collect()
     }
 
-    fn run(&self, trial: &Trial) -> TrialReport {
+    fn run_with_sink(
+        &self,
+        trial: &Trial,
+        _sink: &SinkSpec,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>) {
         let n = trial.get_usize("n");
         let k = trial.get_usize("trees");
         let seed = trial.seed;
@@ -96,7 +100,7 @@ impl Scenario for Fig7 {
         // Captured after the measurement window, so the accounting matches
         // the reported means (the warm-up was reset away).
         report.sim = totoro_simnet::TrialReport::capture(&sim);
-        report
+        (report, None)
     }
 
     fn render(&self, params: &Params, reports: &[TrialReport]) -> String {

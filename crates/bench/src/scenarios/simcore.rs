@@ -13,11 +13,20 @@
 //! timed `--reps N` times (default 3) and the fastest repetition reported,
 //! so guard comparisons against the committed baseline survive background
 //! load on the measuring machine.
+//!
+//! The `event_churn_heap`/`timer_storm_heap` workloads rerun their
+//! namesakes on the reference [`HeapQueue`] instead of the default timer
+//! wheel, so every report carries a heap-vs-wheel comparison (rendered as
+//! `*_speedup_wheel_over_heap`); the wheel's absolute `timer_storm` floor
+//! is enforced by `scripts/check_simcore_guard.sh`.
 
 use std::time::Instant;
 
-use crate::scenario::{Params, Scenario, Trial, TrialReport};
-use crate::simcore::{run_event_churn, run_multicast, run_timer_storm};
+use crate::scenario::{Params, Scenario, SinkSpec, Trial, TrialReport};
+use crate::simcore::{
+    run_event_churn, run_event_churn_on, run_multicast, run_timer_storm, run_timer_storm_on,
+};
+use totoro_simnet::{HeapQueue, TraceRecord};
 
 /// Scenario registration for the simulator hot-path benchmark.
 pub struct Simcore;
@@ -110,9 +119,11 @@ impl Scenario for Simcore {
         Trial::seal(
             [
                 "event_churn",
+                "event_churn_heap",
                 "multicast_clone",
                 "multicast_shared",
                 "timer_storm",
+                "timer_storm_heap",
             ]
             .iter()
             .map(|w| {
@@ -124,7 +135,11 @@ impl Scenario for Simcore {
         )
     }
 
-    fn run(&self, trial: &Trial) -> TrialReport {
+    fn run_with_sink(
+        &self,
+        trial: &Trial,
+        _sink: &SinkSpec,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>) {
         let s = sizes(if trial.get("smoke") == 1 {
             "smoke"
         } else {
@@ -136,6 +151,9 @@ impl Scenario for Simcore {
             "event_churn" => timed(reps, || {
                 run_event_churn(s.churn_nodes, s.churn_tokens, s.churn_hops)
             }),
+            "event_churn_heap" => timed(reps, || {
+                run_event_churn_on::<HeapQueue>(s.churn_nodes, s.churn_tokens, s.churn_hops)
+            }),
             "multicast_clone" => timed(reps, || {
                 run_multicast(s.mc_nodes, s.mc_fanout, s.mc_weights, s.mc_rounds, false)
             }),
@@ -145,6 +163,9 @@ impl Scenario for Simcore {
             "timer_storm" => timed(reps, || {
                 run_timer_storm(s.timer_nodes, s.timer_timers, s.timer_refires)
             }),
+            "timer_storm_heap" => timed(reps, || {
+                run_timer_storm_on::<HeapQueue>(s.timer_nodes, s.timer_timers, s.timer_refires)
+            }),
             other => panic!("unknown simcore workload {other:?}"),
         };
         report.push_metric("events", events as f64);
@@ -153,7 +174,7 @@ impl Scenario for Simcore {
             "events_per_sec",
             events as f64 / (wall_ms / 1_000.0).max(1e-9),
         );
-        report
+        (report, None)
     }
 
     fn render(&self, params: &Params, reports: &[TrialReport]) -> String {
@@ -171,20 +192,25 @@ impl Scenario for Simcore {
                 r.metric("events_per_sec"),
             ));
         }
-        let clone_ms = reports
-            .iter()
-            .find(|r| r.setup == "multicast_clone")
-            .map(|r| r.metric("wall_ms"));
-        let shared_ms = reports
-            .iter()
-            .find(|r| r.setup == "multicast_shared")
-            .map(|r| r.metric("wall_ms"));
-        let speedup = match (clone_ms, shared_ms) {
-            (Some(c), Some(s)) if s > 0.0 => c / s,
+        let wall = |setup: &str| {
+            reports
+                .iter()
+                .find(|r| r.setup == setup)
+                .map(|r| r.metric("wall_ms"))
+        };
+        let ratio = |slow: Option<f64>, fast: Option<f64>| match (slow, fast) {
+            (Some(s), Some(f)) if f > 0.0 => s / f,
             _ => f64::NAN,
         };
+        let speedup = ratio(wall("multicast_clone"), wall("multicast_shared"));
         out.push_str(&format!(
             "\nmulticast shared-vs-clone speedup: {speedup:.2}x\n"
+        ));
+        let timer_speedup = ratio(wall("timer_storm_heap"), wall("timer_storm"));
+        let churn_speedup = ratio(wall("event_churn_heap"), wall("event_churn"));
+        out.push_str(&format!(
+            "timer_storm wheel-over-heap speedup: {timer_speedup:.2}x\n\
+             event_churn wheel-over-heap speedup: {churn_speedup:.2}x\n"
         ));
 
         // Persist the trajectory point unless disabled (`--out none`).
@@ -203,7 +229,7 @@ impl Scenario for Simcore {
                 })
                 .collect();
             let json = format!(
-                "{{\n  \"schema\": \"totoro-simcore/v1\",\n  \"mode\": \"{mode}\",\n  \"workloads\": [\n{}\n  ],\n  \"multicast_speedup_shared_over_clone\": {speedup:.2}\n}}\n",
+                "{{\n  \"schema\": \"totoro-simcore/v1\",\n  \"mode\": \"{mode}\",\n  \"workloads\": [\n{}\n  ],\n  \"multicast_speedup_shared_over_clone\": {speedup:.2},\n  \"timer_storm_speedup_wheel_over_heap\": {timer_speedup:.2},\n  \"event_churn_speedup_wheel_over_heap\": {churn_speedup:.2}\n}}\n",
                 workloads.join(",\n"),
             );
             if let Err(e) = std::fs::write(&path, json) {

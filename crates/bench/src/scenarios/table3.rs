@@ -11,10 +11,10 @@
 use totoro_baselines::{CentralizedEngine, ServerProfile};
 use totoro_ml::TaskGenerator;
 use totoro_simnet::geo::{eua_regions_scaled, generate};
-use totoro_simnet::{sub_rng, SimTime, Topology};
+use totoro_simnet::{sub_rng, SimTime, Topology, TraceRecord};
 
 use crate::report::{csv_block, markdown_table, speedup};
-use crate::scenario::{Params, Scenario, Trial, TrialReport};
+use crate::scenario::{Params, Scenario, SinkSpec, Trial, TrialReport};
 use crate::setups::{
     edge_latency, fl_app_config, target_for, task_by_name, to_central_spec, totoro_with_apps,
 };
@@ -95,7 +95,11 @@ impl Scenario for Table3 {
         trials
     }
 
-    fn run(&self, trial: &Trial) -> TrialReport {
+    fn run_with_sink(
+        &self,
+        trial: &Trial,
+        _sink: &SinkSpec,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>) {
         let (engine, dataset) = trial
             .setup
             .split_once(':')
@@ -132,7 +136,7 @@ impl Scenario for Table3 {
         };
         let mut report = TrialReport::for_trial(trial);
         report.push_metric("total_s", total_s);
-        report
+        (report, None)
     }
 
     fn render(&self, params: &Params, reports: &[TrialReport]) -> String {

@@ -9,10 +9,10 @@
 
 use totoro_baselines::{CentralizedEngine, ServerProfile};
 use totoro_ml::{AccuracyPoint, TaskGenerator};
-use totoro_simnet::{sub_rng, SimTime};
+use totoro_simnet::{sub_rng, SimTime, TraceRecord};
 
 use crate::report::{csv_block, f3};
-use crate::scenario::{Params, Scenario, Trial, TrialReport};
+use crate::scenario::{Params, Scenario, SinkSpec, Trial, TrialReport};
 use crate::scenarios::table3::{apply_device_class, topology_for};
 use crate::setups::{fl_app_config, target_for, task_by_name, to_central_spec, totoro_with_apps};
 
@@ -96,7 +96,11 @@ impl Scenario for Tta {
         trials
     }
 
-    fn run(&self, trial: &Trial) -> TrialReport {
+    fn run_with_sink(
+        &self,
+        trial: &Trial,
+        _sink: &SinkSpec,
+    ) -> (TrialReport, Option<Vec<TraceRecord>>) {
         let n = trial.get_usize("n");
         let samples = trial.get_usize("samples");
         let num_apps = trial.get_usize("apps");
@@ -147,7 +151,7 @@ impl Scenario for Tta {
             report.push_metric("total_s", total);
             curve_rows(&mut report, engine.server().curve(0));
         }
-        report
+        (report, None)
     }
 
     fn render(&self, params: &Params, reports: &[TrialReport]) -> String {

@@ -14,7 +14,10 @@
 //! * **timer storm** — thousands of concurrently armed timers: heap
 //!   pressure with zero-byte payloads.
 
-use totoro_simnet::{Application, Ctx, NodeIdx, Payload, Shared, SimDuration, Simulator, Topology};
+use totoro_simnet::{
+    Application, Ctx, EventQueue, NodeIdx, NoopSink, Payload, Shared, SimDuration, Simulator,
+    Topology, WheelQueue,
+};
 
 /// Fixed per-hop delay for every workload: `Topology::uniform` with
 /// `min == max` and jitter 0 never touches the RNG, so measured time is
@@ -52,7 +55,16 @@ impl Application for ChurnNode {
 /// deliveries. Returns events processed (exactly
 /// `n` starts + `tokens × (hops + 1)` deliveries).
 pub fn run_event_churn(n: usize, tokens: usize, hops: u64) -> u64 {
-    let mut sim = Simulator::new(flat_topology(n), 1, |_| ChurnNode { n });
+    run_event_churn_on::<WheelQueue>(n, tokens, hops)
+}
+
+/// [`run_event_churn`] on an explicit [`EventQueue`] implementation — the
+/// heap-vs-wheel comparison entry point.
+pub fn run_event_churn_on<Q: EventQueue>(n: usize, tokens: usize, hops: u64) -> u64 {
+    let mut sim =
+        Simulator::<ChurnNode, NoopSink, Q>::with_queue(flat_topology(n), 1, NoopSink, |_| {
+            ChurnNode { n }
+        });
     let tokens = tokens.min(n);
     for t in 0..tokens {
         let _ = sim.with_app(t, |_node, ctx| {
@@ -185,11 +197,20 @@ impl Application for TimerNode {
 /// timers drain (so each node fires `timers + timers × refires − 1` times
 /// in total). Returns events processed.
 pub fn run_timer_storm(n: usize, timers: u64, refires: u64) -> u64 {
-    let mut sim = Simulator::new(flat_topology(n), 3, |_| TimerNode {
-        timers,
-        refires,
-        fired: 0,
-    });
+    run_timer_storm_on::<WheelQueue>(n, timers, refires)
+}
+
+/// [`run_timer_storm`] on an explicit [`EventQueue`] implementation — the
+/// heap-vs-wheel comparison entry point.
+pub fn run_timer_storm_on<Q: EventQueue>(n: usize, timers: u64, refires: u64) -> u64 {
+    let mut sim =
+        Simulator::<TimerNode, NoopSink, Q>::with_queue(flat_topology(n), 3, NoopSink, |_| {
+            TimerNode {
+                timers,
+                refires,
+                fired: 0,
+            }
+        });
     assert!(sim.run_until_quiet(u64::MAX));
     sim.events_processed()
 }
@@ -219,5 +240,18 @@ mod tests {
         let events = run_timer_storm(20, 8, 3);
         // n starts + n × (timers + timers × refires − 1) firings.
         assert_eq!(events, 20 + 20 * (8 + 8 * 3 - 1));
+    }
+
+    #[test]
+    fn queue_choice_is_invisible_to_event_counts() {
+        use totoro_simnet::HeapQueue;
+        assert_eq!(
+            run_event_churn_on::<HeapQueue>(50, 4, 100),
+            run_event_churn_on::<WheelQueue>(50, 4, 100),
+        );
+        assert_eq!(
+            run_timer_storm_on::<HeapQueue>(20, 8, 3),
+            run_timer_storm_on::<WheelQueue>(20, 8, 3),
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! must be byte-identical across `--jobs` settings.
 
 use totoro_bench::scenario::{
-    execute, execute_traced, Params, Scenario, TraceOptions, Trial, TrialReport,
+    execute, execute_traced, Params, Scenario, SinkSpec, Trial, TrialReport,
 };
 use totoro_bench::setups::{
     broadcast_from_root, build_tree, echo_overlay_sink, eua_topology, topic,
@@ -157,18 +157,15 @@ impl Scenario for TinyTrace {
                 .collect(),
         )
     }
-    fn run(&self, trial: &Trial) -> TrialReport {
-        run_tiny(trial, NoopSink).0
-    }
-    fn run_traced(
+    fn run_with_sink(
         &self,
         trial: &Trial,
-        opts: &TraceOptions,
+        sink: &SinkSpec,
     ) -> (TrialReport, Option<Vec<TraceRecord>>) {
-        run_tiny(
-            trial,
-            RecordingSink::new(0).with_layer_filter(opts.filter.clone()),
-        )
+        match sink.recording() {
+            Some(rec) => run_tiny(trial, rec),
+            None => run_tiny(trial, NoopSink),
+        }
     }
     fn render(&self, _params: &Params, reports: &[TrialReport]) -> String {
         let events: Vec<String> = reports.iter().map(|r| r.sim.events.to_string()).collect();

@@ -139,9 +139,13 @@ impl ChurnSchedule {
     }
 
     /// Applies the schedule to a simulator.
-    pub fn apply<A: crate::sim::Application, S: crate::obs::TraceSink>(
+    pub fn apply<
+        A: crate::sim::Application,
+        S: crate::obs::TraceSink,
+        Q: crate::queue::EventQueue,
+    >(
         &self,
-        sim: &mut crate::sim::Simulator<A, S>,
+        sim: &mut crate::sim::Simulator<A, S, Q>,
     ) {
         for e in &self.events {
             if e.down {

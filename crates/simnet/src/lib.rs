@@ -3,7 +3,8 @@
 //! Deterministic discrete-event network simulator underlying the Totoro
 //! reproduction. It provides:
 //!
-//! * a virtual clock and event queue ([`sim::Simulator`]);
+//! * a virtual clock and pluggable event queue ([`sim::Simulator`],
+//!   [`queue`] — timer wheel by default, binary heap as reference);
 //! * a geographic topology with latency/bandwidth/loss models
 //!   ([`topology::Topology`], [`geo`]);
 //! * Ratnasamy-Shenker distributed binning and edge-zone formation
@@ -24,6 +25,7 @@ pub mod churn;
 pub mod geo;
 pub mod obs;
 pub mod payload;
+pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod time;
@@ -44,6 +46,7 @@ pub use obs::{
     MetricsSnapshot, MsgMeta, NoopSink, RecordingSink, TraceBody, TraceRecord, TraceSink,
 };
 pub use payload::Shared;
+pub use queue::{EventKey, EventQueue, HeapQueue, WheelQueue};
 pub use rng::{derive_seed, sub_rng};
 pub use sim::{Application, ComputeKind, Ctx, Payload, Simulator};
 pub use time::{SimDuration, SimTime};

@@ -11,23 +11,36 @@
 //! Simulator throughput bounds every experiment, so the event loop is built
 //! to avoid per-event allocation and large memmoves:
 //!
-//! * The binary heap orders small fixed-size [`HeapEntry`] keys
-//!   (`time, seq, slot` — 24 bytes); message payloads live in an
-//!   [`EventSlab`] indexed by `slot`, so heap sifts never move a model
-//!   update. Freed slots are recycled, so a steady-state simulation stops
-//!   allocating entirely.
+//! * Event ordering lives behind the pluggable [`EventQueue`] API: queues
+//!   order small fixed-size `(EventKey, slot)` records (`time, seq, slot` —
+//!   24 bytes); message payloads live in an [`EventSlab`] indexed by `slot`,
+//!   so reordering never moves a model update. The default [`WheelQueue`]
+//!   buckets the near-horizon band in a hierarchical timer wheel (`O(1)`
+//!   pushes, one contiguous sort per due bucket); [`HeapQueue`](crate::queue::HeapQueue) is the
+//!   binary-heap reference with identical `(time, seq)` order. Freed slab
+//!   slots are recycled, so a steady-state simulation stops allocating
+//!   entirely.
+//! * Every schedule source — sends, timers, churn, failure bounces — routes
+//!   through one typed `enqueue(time, node, EventKind)` choke point, which
+//!   assigns the sequence number and clamps the due time; no call site
+//!   hand-rolls a queue entry.
+//! * The run loops dispatch in *batches*: all queued events sharing the
+//!   same `(time, destination)` drain into a reusable scratch batch and are
+//!   processed in one pass — the destination's liveness check, traffic-
+//!   ledger arithmetic, and scratch-buffer loan happen once per batch
+//!   instead of once per message, while per-message callback order, trace
+//!   emission, and RNG draws stay exactly as in single-step dispatch.
 //! * Callback side effects accumulate in a reusable scratch buffer that is
 //!   drained in place (no per-event `Vec`).
-//! * [`Simulator::step_before`] pops an event only if it is due, replacing
-//!   the peek-then-pop pattern in deadline-bounded loops.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! * [`Simulator::step_before`] pops an event only if it is due
+//!   ([`EventQueue::pop_before`]), replacing the peek-then-pop pattern in
+//!   deadline-bounded loops.
 
 use rand::rngs::StdRng;
 
 use crate::chaos::{ChaosInjector, FaultFilter};
 use crate::obs::{DropReason, MsgMeta, NoopSink, TraceBody, TraceRecord, TraceSink, ROOT_PARENT};
+use crate::queue::{EventKey, EventQueue, WheelQueue};
 use crate::rng::sub_rng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeIdx, Topology};
@@ -199,38 +212,11 @@ enum EventKind<M> {
     Up,
 }
 
-/// A pending event's payload, parked in the slab while its key sifts
-/// through the heap.
+/// A pending event's payload, parked in the slab while its key moves
+/// through the event queue.
 struct PendingEvent<M> {
     node: NodeIdx,
     kind: EventKind<M>,
-}
-
-/// The heap's ordering key: 24 bytes regardless of the message type, so
-/// sift operations move small fixed-size records instead of whole payloads.
-struct HeapEntry {
-    time: SimTime,
-    seq: u64,
-    slot: u32,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // `slot` is storage, not identity: ordering is (time, seq) exactly
-        // as before the slab split, which the determinism contract pins.
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
 }
 
 /// Free-list slab holding the payloads of queued events.
@@ -270,9 +256,18 @@ impl<M> EventSlab<M> {
     fn take(&mut self, slot: u32) -> PendingEvent<M> {
         let ev = self.slots[slot as usize]
             .take()
-            .expect("heap entry references an empty slot");
+            .expect("queue entry references an empty slot");
         self.free.push(slot);
         ev
+    }
+
+    /// Inspects a queued event without removing it — used by the batch
+    /// collector to decide whether the queue head extends the current
+    /// `(time, destination)` batch before committing to the pop.
+    fn peek(&self, slot: u32) -> &PendingEvent<M> {
+        self.slots[slot as usize]
+            .as_ref()
+            .expect("queue entry references an empty slot")
     }
 }
 
@@ -309,11 +304,17 @@ impl ComputeLedger {
 /// default [`NoopSink`], every observability code path is compiled away
 /// (the sink's `ENABLED` constant gates them statically) and the event loop
 /// is identical to an untraced build.
-pub struct Simulator<A: Application, S: TraceSink = NoopSink> {
+///
+/// The third type parameter selects the [`EventQueue`] implementation; the
+/// default [`WheelQueue`] and the reference [`HeapQueue`](crate::queue::HeapQueue) produce
+/// byte-identical schedules (same `(time, seq)` total order), so swapping
+/// them changes throughput only. Use [`Simulator::with_queue`] to pick one
+/// explicitly.
+pub struct Simulator<A: Application, S: TraceSink = NoopSink, Q: EventQueue = WheelQueue> {
     nodes: Vec<A>,
     alive: Vec<bool>,
     topology: Topology,
-    queue: BinaryHeap<Reverse<HeapEntry>>,
+    queue: Q,
     slab: EventSlab<A::Msg>,
     now: SimTime,
     seq: u64,
@@ -329,6 +330,10 @@ pub struct Simulator<A: Application, S: TraceSink = NoopSink> {
     traffic: TrafficLedger,
     compute: ComputeLedger,
     scratch: Vec<Action<A::Msg>>,
+    // Reusable batch buffer for same-(time, destination) dispatch runs;
+    // like `scratch`, its capacity survives across batches so the run loop
+    // performs no per-batch allocation.
+    batch: Vec<(EventKind<A::Msg>, MsgMeta)>,
     events_processed: u64,
     dropped_loss: u64,
     dropped_dead: u64,
@@ -347,7 +352,25 @@ impl<A: Application> Simulator<A, NoopSink> {
 
 impl<A: Application, S: TraceSink> Simulator<A, S> {
     /// Like [`Simulator::new`], but with an explicit trace sink installed.
+    /// Uses the default [`WheelQueue`]; see [`Simulator::with_queue`] to
+    /// select the queue implementation as well.
     pub fn with_sink(
+        topology: Topology,
+        seed: u64,
+        sink: S,
+        make_node: impl FnMut(NodeIdx) -> A,
+    ) -> Self {
+        Simulator::with_queue(topology, seed, sink, make_node)
+    }
+}
+
+impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
+    /// Like [`Simulator::with_sink`], but generic over the [`EventQueue`]
+    /// implementation (named explicitly at the call site, e.g.
+    /// `Simulator::<App, NoopSink, HeapQueue>::with_queue(...)`). Both
+    /// shipped queues dispatch in the identical `(time, seq)` order, so
+    /// this choice never changes results — only throughput.
+    pub fn with_queue(
         topology: Topology,
         seed: u64,
         sink: S,
@@ -359,26 +382,13 @@ impl<A: Application, S: TraceSink> Simulator<A, S> {
         // of the node count (heartbeats, timers, a few messages per node);
         // reserving that up front avoids the early doubling cascade.
         let event_cap = n.saturating_mul(4).max(64);
-        let mut queue = BinaryHeap::with_capacity(event_cap);
-        let mut slab = EventSlab::with_capacity(event_cap);
-        for (seq, node) in (0..n).enumerate() {
-            let slot = slab.insert(PendingEvent {
-                node,
-                kind: EventKind::Start,
-            });
-            queue.push(Reverse(HeapEntry {
-                time: SimTime::ZERO,
-                seq: seq as u64,
-                slot,
-            }));
-        }
-        Simulator {
+        let mut sim = Simulator {
             alive: vec![true; n],
             nodes,
-            queue,
-            slab,
+            queue: Q::with_capacity(event_cap),
+            slab: EventSlab::with_capacity(event_cap),
             now: SimTime::ZERO,
-            seq: n as u64,
+            seq: 0,
             msg_seq: 1,
             meta_slots: Vec::new(),
             rng: sub_rng(seed, "simulator"),
@@ -387,6 +397,7 @@ impl<A: Application, S: TraceSink> Simulator<A, S> {
             // One callback can address every peer (a server-style fan-out),
             // but typical bursts are small; clamp the reservation.
             scratch: Vec::with_capacity(n.clamp(16, 1_024)),
+            batch: Vec::new(),
             topology,
             events_processed: 0,
             dropped_loss: 0,
@@ -394,7 +405,11 @@ impl<A: Application, S: TraceSink> Simulator<A, S> {
             chaos: None,
             fault_filter: None,
             sink,
+        };
+        for node in 0..n {
+            sim.enqueue(SimTime::ZERO, node, EventKind::Start);
         }
+        sim
     }
 
     /// The installed trace sink.
@@ -509,12 +524,12 @@ impl<A: Application, S: TraceSink> Simulator<A, S> {
 
     /// Schedules node `i` to go down at absolute time `at`.
     pub fn schedule_down(&mut self, i: NodeIdx, at: SimTime) {
-        self.push_event(at, i, EventKind::Down);
+        self.enqueue(at, i, EventKind::Down);
     }
 
     /// Schedules node `i` to come back up at absolute time `at`.
     pub fn schedule_up(&mut self, i: NodeIdx, at: SimTime) {
-        self.push_event(at, i, EventKind::Up);
+        self.enqueue(at, i, EventKind::Up);
     }
 
     /// Runs an application callback "from the outside" at the current time —
@@ -554,30 +569,32 @@ impl<A: Application, S: TraceSink> Simulator<A, S> {
     /// Processes the next event, returning its timestamp, or `None` if the
     /// queue is empty.
     pub fn step(&mut self) -> Option<SimTime> {
-        let Reverse(entry) = self.queue.pop()?;
-        Some(self.dispatch(entry))
+        let (key, slot) = self.queue.pop()?;
+        let (ev, meta) = self.take_event(slot);
+        Some(self.dispatch(key.time, ev, meta))
     }
 
     /// Processes the next event only if it is due at or before `deadline`,
-    /// returning its timestamp. A single heap operation decides and pops —
-    /// the deadline-bounded analogue of [`Simulator::step`].
+    /// returning its timestamp. A single queue operation decides and pops
+    /// ([`EventQueue::pop_before`]) — the deadline-bounded analogue of
+    /// [`Simulator::step`].
     pub fn step_before(&mut self, deadline: SimTime) -> Option<SimTime> {
-        let head = self.queue.peek()?;
-        if head.0.time > deadline {
-            return None;
-        }
-        let Reverse(entry) = self.queue.pop().expect("peeked entry vanished");
-        Some(self.dispatch(entry))
+        let (key, slot) = self.queue.pop_before(deadline)?;
+        let (ev, meta) = self.take_event(slot);
+        Some(self.dispatch(key.time, ev, meta))
     }
 
     /// Runs until the queue drains or simulated time exceeds `deadline`.
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut processed = 0;
-        while self.step_before(deadline).is_some() {
-            processed += 1;
+        loop {
+            let n = self.step_batch(deadline, u64::MAX);
+            if n == 0 {
+                return processed;
+            }
+            processed += n;
         }
-        processed
     }
 
     /// Runs for `dur` of simulated time from the current instant.
@@ -589,18 +606,223 @@ impl<A: Application, S: TraceSink> Simulator<A, S> {
     /// Runs until the event queue is empty or `max_events` were processed.
     /// Returns `true` if the queue drained.
     pub fn run_until_quiet(&mut self, max_events: u64) -> bool {
-        for _ in 0..max_events {
-            if self.step().is_none() {
+        let mut remaining = max_events;
+        while remaining > 0 {
+            let n = self.step_batch(SimTime::MAX, remaining);
+            if n == 0 {
                 return true;
             }
+            remaining -= n;
         }
         self.queue.is_empty()
     }
 
-    fn dispatch(&mut self, entry: HeapEntry) -> SimTime {
-        let PendingEvent { node, kind } = self.slab.take(entry.slot);
-        debug_assert!(entry.time >= self.now, "time went backwards");
-        self.now = entry.time;
+    /// Takes a popped event's payload out of the slab, along with its
+    /// parked causal meta (read before the slot can be recycled).
+    #[inline]
+    fn take_event(&mut self, slot: u32) -> (PendingEvent<A::Msg>, MsgMeta) {
+        let meta = if S::ENABLED {
+            self.meta_slots
+                .get(slot as usize)
+                .copied()
+                .unwrap_or(MsgMeta::NONE)
+        } else {
+            MsgMeta::NONE
+        };
+        (self.slab.take(slot), meta)
+    }
+
+    /// Pops and dispatches one *batch*: the maximal run of due queue-head
+    /// events sharing the same `(time, destination)`, excluding liveness
+    /// transitions (`Down`/`Up`, which dispatch singly so the batch-wide
+    /// alive check stays sound). Returns the number of events processed
+    /// (0 when nothing is due), never more than `budget` (callers pass a
+    /// positive budget).
+    ///
+    /// Batching flattens per-message bookkeeping — destination liveness,
+    /// traffic-ledger arithmetic, the scratch-buffer loan — into one pass
+    /// per batch while preserving per-message callback order, trace
+    /// emission, and RNG draws, so results are byte-identical to repeated
+    /// [`Simulator::step`]. Collecting ahead is sound because a callback
+    /// can only enqueue with a *larger* sequence number: nothing it
+    /// schedules can sort before an event already popped into the batch.
+    fn step_batch(&mut self, deadline: SimTime, budget: u64) -> u64 {
+        debug_assert!(budget > 0);
+        let Some((key, slot)) = self.queue.pop_before(deadline) else {
+            return 0;
+        };
+        let (ev, meta) = self.take_event(slot);
+        if matches!(ev.kind, EventKind::Down | EventKind::Up) {
+            self.dispatch(key.time, ev, meta);
+            return 1;
+        }
+        let node = ev.node;
+        // Singleton fast path: when the next head does not share this
+        // event's `(time, destination)` (the common case for staggered
+        // timers), skip the batch machinery entirely — `dispatch` and a
+        // one-element `dispatch_batch` are observationally identical.
+        let extends = budget > 1
+            && match self.queue.peek() {
+                Some((next_key, next_slot)) if next_key.time == key.time => {
+                    let head = self.slab.peek(next_slot);
+                    head.node == node && !matches!(head.kind, EventKind::Down | EventKind::Up)
+                }
+                _ => false,
+            };
+        if !extends {
+            self.dispatch(key.time, ev, meta);
+            return 1;
+        }
+        debug_assert!(self.batch.is_empty());
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.push((ev.kind, meta));
+        while (batch.len() as u64) < budget {
+            let Some((next_key, next_slot)) = self.queue.peek() else {
+                break;
+            };
+            if next_key.time != key.time {
+                break;
+            }
+            let head = self.slab.peek(next_slot);
+            if head.node != node || matches!(head.kind, EventKind::Down | EventKind::Up) {
+                break;
+            }
+            self.queue.pop().expect("peeked queue head vanished");
+            let (ev2, meta2) = self.take_event(next_slot);
+            batch.push((ev2.kind, meta2));
+        }
+        let count = batch.len() as u64;
+        self.dispatch_batch(key.time, node, &mut batch);
+        debug_assert!(batch.is_empty());
+        self.batch = batch;
+        count
+    }
+
+    /// Dispatches a collected same-`(time, destination)` batch in one pass,
+    /// draining it. See [`Simulator::step_batch`] for the equivalence
+    /// argument.
+    fn dispatch_batch(
+        &mut self,
+        time: SimTime,
+        node: NodeIdx,
+        batch: &mut Vec<(EventKind<A::Msg>, MsgMeta)>,
+    ) {
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
+        self.events_processed += batch.len() as u64;
+        if self.alive[node] {
+            // Flattened ledger bookkeeping: one read-modify-write of the
+            // destination's traffic counters per batch, not per message.
+            let mut recv_msgs = 0u64;
+            let mut recv_bytes = 0u64;
+            for (kind, _) in batch.iter() {
+                if let EventKind::Deliver { msg, .. } = kind {
+                    recv_msgs += 1;
+                    recv_bytes += msg.size_bytes() as u64;
+                }
+            }
+            if recv_msgs > 0 {
+                self.traffic.record_recv_batch(node, recv_msgs, recv_bytes);
+            }
+            debug_assert!(self.scratch.is_empty());
+            let mut actions = std::mem::take(&mut self.scratch);
+            for (kind, meta) in batch.drain(..) {
+                // Records are emitted per message, in dispatch order — the
+                // (sim_time, seq) total order the determinism contract pins.
+                if S::ENABLED {
+                    match &kind {
+                        EventKind::Deliver { src, msg } => {
+                            let (layer, mkind) = tag(msg);
+                            self.sink.record(TraceRecord {
+                                at_us: self.now.as_micros(),
+                                node,
+                                layer,
+                                kind: mkind,
+                                body: TraceBody::Deliver {
+                                    from: *src,
+                                    bytes: msg.size_bytes(),
+                                    meta,
+                                },
+                            });
+                        }
+                        EventKind::Timer { token } => {
+                            self.sink.record(TraceRecord {
+                                at_us: self.now.as_micros(),
+                                node,
+                                layer: "sim",
+                                kind: "timer",
+                                body: TraceBody::TimerFire { token: *token },
+                            });
+                        }
+                        EventKind::Start | EventKind::SendFailed { .. } => {}
+                        EventKind::Down | EventKind::Up => unreachable!("never batched"),
+                    }
+                }
+                // The delivered message's causal meta is inherited by sends
+                // issued from its handler; other kinds root fresh spans.
+                let cause = match &kind {
+                    EventKind::Deliver { .. } => meta,
+                    _ => MsgMeta::NONE,
+                };
+                {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        me: node,
+                        actions: &mut actions,
+                        rng: &mut self.rng,
+                        topology: &self.topology,
+                    };
+                    match kind {
+                        EventKind::Start => self.nodes[node].on_start(&mut ctx),
+                        EventKind::Deliver { src, msg } => {
+                            self.nodes[node].on_message(&mut ctx, src, msg)
+                        }
+                        EventKind::SendFailed { peer } => {
+                            self.nodes[node].on_send_failed(&mut ctx, peer)
+                        }
+                        EventKind::Timer { token } => self.nodes[node].on_timer(&mut ctx, token),
+                        EventKind::Down | EventKind::Up => unreachable!("never batched"),
+                    }
+                }
+                self.apply_actions(node, &mut actions, cause);
+            }
+            self.scratch = actions;
+        } else {
+            // Dead destination: deliveries drop and bounce a failure
+            // notification per message (in order, matching single-step
+            // dispatch RNG draw for RNG draw); other kinds are silent.
+            for (kind, meta) in batch.drain(..) {
+                if let EventKind::Deliver { src, msg } = kind {
+                    if S::ENABLED {
+                        let (layer, mkind) = tag(&msg);
+                        self.sink.record(TraceRecord {
+                            at_us: self.now.as_micros(),
+                            node: src,
+                            layer,
+                            kind: mkind,
+                            body: TraceBody::Drop {
+                                to: node,
+                                bytes: msg.size_bytes(),
+                                reason: DropReason::DeadDest,
+                                meta,
+                            },
+                        });
+                    }
+                    self.dropped_dead += 1;
+                    // TCP-RST-like bounce back to the sender; one network
+                    // delay away. A direct enqueue, not a scratch action.
+                    let delay = self.topology.sample_delay(node, src, 64, &mut self.rng);
+                    let at = self.now + delay;
+                    self.enqueue(at, src, EventKind::SendFailed { peer: node });
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, time: SimTime, ev: PendingEvent<A::Msg>, meta: MsgMeta) -> SimTime {
+        let PendingEvent { node, kind } = ev;
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
         self.events_processed += 1;
         let mut notify_failure: Option<NodeIdx> = None;
         // The delivered message's causal meta, inherited by sends issued
@@ -609,11 +831,6 @@ impl<A: Application, S: TraceSink> Simulator<A, S> {
         // Records are emitted here, in dispatch order — which is the
         // (sim_time, seq) total order the determinism contract pins.
         if S::ENABLED {
-            let meta = self
-                .meta_slots
-                .get(entry.slot as usize)
-                .copied()
-                .unwrap_or(MsgMeta::NONE);
             match &kind {
                 EventKind::Deliver { src, msg } => {
                     let (layer, mkind) = tag(msg);
@@ -731,23 +948,32 @@ impl<A: Application, S: TraceSink> Simulator<A, S> {
         if let Some(src) = notify_failure {
             // Bounce a connection-failure notification back to the sender
             // (TCP-RST-like); it travels one network delay. This is a single
-            // direct push — it does not go through the action scratch.
+            // direct enqueue — it does not go through the action scratch.
             let delay = self.topology.sample_delay(node, src, 64, &mut self.rng);
             let at = self.now + delay;
-            self.push_event(at, src, EventKind::SendFailed { peer: node });
+            self.enqueue(at, src, EventKind::SendFailed { peer: node });
         }
         self.now
     }
 
-    fn push_event(&mut self, time: SimTime, node: NodeIdx, kind: EventKind<A::Msg>) -> u32 {
+    /// The single typed scheduling choke point: every event source — sends,
+    /// timers, churn transitions, failure bounces, the time-zero starts —
+    /// lands here. Assigns the next sequence number (the `(time, seq)`
+    /// tie-break the determinism contract pins), clamps the due time to
+    /// `now`, parks the payload in the slab, and pushes the key into the
+    /// installed [`EventQueue`]. Returns the slab slot so Deliver sites can
+    /// park causal meta alongside it.
+    fn enqueue(&mut self, time: SimTime, node: NodeIdx, kind: EventKind<A::Msg>) -> u32 {
         let seq = self.seq;
         self.seq += 1;
         let slot = self.slab.insert(PendingEvent { node, kind });
-        self.queue.push(Reverse(HeapEntry {
-            time: time.max(self.now),
-            seq,
+        self.queue.push(
+            EventKey {
+                time: time.max(self.now),
+                seq,
+            },
             slot,
-        }));
+        );
         slot
     }
 
@@ -924,7 +1150,7 @@ impl<A: Application, S: TraceSink> Simulator<A, S> {
                                 },
                             });
                         }
-                        let slot = self.push_event(
+                        let slot = self.enqueue(
                             at,
                             to,
                             EventKind::Deliver {
@@ -936,14 +1162,14 @@ impl<A: Application, S: TraceSink> Simulator<A, S> {
                             self.set_deliver_meta(slot, dup_meta);
                         }
                     }
-                    let slot = self.push_event(at, to, EventKind::Deliver { src, msg });
+                    let slot = self.enqueue(at, to, EventKind::Deliver { src, msg });
                     if S::ENABLED {
                         self.set_deliver_meta(slot, meta);
                     }
                 }
                 Action::Timer { delay, token } => {
                     let at = self.now + delay;
-                    self.push_event(at, src, EventKind::Timer { token });
+                    self.enqueue(at, src, EventKind::Timer { token });
                 }
                 Action::Compute { kind, amount } => {
                     self.compute.charge(src, kind, amount);

@@ -11,6 +11,12 @@
 # The last argument is taken as the baseline when more than one file is
 # given and it differs from the first; otherwise BENCH_simcore.json.
 # TOLERANCE_PCT defaults to 5 (the PR-4 acceptance bound).
+#
+# On top of the relative floors, `timer_storm` must clear an absolute
+# rate: the timer-wheel queue landed at >=8M events/sec (vs ~3.45M on the
+# reference heap), and TIMER_STORM_FLOOR (default 8000000) pins that so
+# the wheel can never silently degrade back to heap-era throughput while
+# staying within the 5%-per-PR ratchet.
 set -euo pipefail
 
 if [ "$#" -lt 1 ]; then
@@ -57,6 +63,19 @@ while read -r name base_rate; do
     fail=1
   fi
 done < <(rates "$baseline")
+
+# Absolute floor for the timer wheel's flagship workload.
+floor="${TIMER_STORM_FLOOR:-8000000}"
+ts_rate=$(best_fresh "timer_storm")
+if [ -z "$ts_rate" ]; then
+  echo "FAIL timer_storm: missing from ${fresh[*]} (absolute floor unchecked)"
+  fail=1
+elif [ "$ts_rate" -lt "$floor" ]; then
+  echo "FAIL timer_storm: $ts_rate ev/s below absolute floor $floor"
+  fail=1
+else
+  echo "ok   timer_storm: $ts_rate ev/s clears absolute floor $floor"
+fi
 
 if [ "$fail" != 0 ]; then
   echo "simcore guard failed: hot-path throughput regressed beyond ${tolerance}%"
