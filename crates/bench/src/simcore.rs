@@ -14,9 +14,10 @@
 //! * **timer storm** — thousands of concurrently armed timers: heap
 //!   pressure with zero-byte payloads.
 
+use totoro_simnet::geo::{eua_regions_scaled, generate};
 use totoro_simnet::{
-    Application, Ctx, EventQueue, NodeIdx, NoopSink, Payload, Shared, SimDuration, Simulator,
-    Topology, WheelQueue,
+    sub_rng, Application, Ctx, EventQueue, LatencyModel, NodeIdx, NoopSink, Payload, ShardedSim,
+    Shared, SimDuration, Simulator, Topology, WheelQueue,
 };
 
 /// Fixed per-hop delay for every workload: `Topology::uniform` with
@@ -215,9 +216,162 @@ pub fn run_timer_storm_on<Q: EventQueue>(n: usize, timers: u64, refires: u64) ->
     sim.events_processed()
 }
 
+// --------------------------------------------------------- million node --
+
+/// Builds the EUA-geography topology for the `million_node` workload:
+/// the paper's 12 Australian regions scaled to `n` nodes, fixed
+/// geographic latency (500 µs base + 5 µs/km, zero jitter, zero loss) so
+/// the topology is RNG-free and therefore shardable
+/// ([`Topology::delay_is_deterministic`]).
+pub fn build_eua_topology(n: usize, seed: u64) -> Topology {
+    let regions = eua_regions_scaled(n);
+    let mut rng = sub_rng(seed, "million-node-geo");
+    let placed = generate(&regions, &mut rng);
+    Topology::from_placements(
+        &placed,
+        LatencyModel::Geo {
+            base_us: 500,
+            per_km_us: 5.0,
+        },
+    )
+    .with_jitter(0.0)
+}
+
+/// Precomputes the gossip routing for [`run_million_node`]: each node's
+/// successor on its zone's ring, and a mirror node in the next populated
+/// zone for the periodic cross-zone beat.
+pub fn zone_rings(topo: &Topology) -> (Vec<u32>, Vec<u32>) {
+    let n = topo.len();
+    let nregions = topo.num_regions().max(1);
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); nregions];
+    for i in 0..n {
+        members[topo.region(i) as usize].push(i as u32);
+    }
+    let populated: Vec<usize> = (0..nregions).filter(|&r| !members[r].is_empty()).collect();
+    let mut next = vec![0u32; n];
+    let mut cross = vec![0u32; n];
+    for (pi, &r) in populated.iter().enumerate() {
+        let ring = &members[r];
+        let other = &members[populated[(pi + 1) % populated.len()]];
+        for (j, &g) in ring.iter().enumerate() {
+            next[g as usize] = ring[(j + 1) % ring.len()];
+            cross[g as usize] = other[g as usize % other.len()];
+        }
+    }
+    (next, cross)
+}
+
+/// Zone gossip: a 1 kHz beat timer per node; every beat sends one small
+/// message around the zone ring, and every 16th node also pings its
+/// cross-zone mirror. Per-node state is 20 bytes.
+struct GossipNode {
+    next: u32,
+    cross: u32,
+    rounds: u32,
+    round: u32,
+    recvd: u32,
+}
+
+#[derive(Clone)]
+struct Beat;
+
+impl Payload for Beat {
+    fn size_bytes(&self) -> usize {
+        16
+    }
+}
+
+impl Application for GossipNode {
+    type Msg = Beat;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Beat>) {
+        // Stagger beat phases so firings spread across the millisecond.
+        let phase = 1 + (ctx.me() as u64 * 37) % 1_000;
+        ctx.set_timer(SimDuration::from_micros(phase), 0);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Beat>, _from: NodeIdx, _msg: Beat) {
+        self.recvd += 1;
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Beat>, _token: u64) {
+        ctx.send(self.next as usize, Beat);
+        if ctx.me() % 16 == 0 {
+            ctx.send(self.cross as usize, Beat);
+        }
+        self.round += 1;
+        if self.round < self.rounds {
+            ctx.set_timer(SimDuration::from_micros(1_000), 0);
+        }
+    }
+}
+
+/// Result of one [`run_million_node`] execution.
+pub struct MillionRun {
+    /// Events processed (deterministic: `n` starts + `n × rounds` timer
+    /// firings + one delivery per ring send + one per cross-zone send).
+    pub events: u64,
+    /// Heap bytes of per-node simulator state
+    /// ([`ShardedSim::state_bytes`]) — the memory-diet metric.
+    pub state_bytes: usize,
+}
+
+/// Runs the zone-gossip workload over a prebuilt EUA topology on
+/// `shards` shards. Topology construction is excluded (callers build it
+/// once, outside timing); the clone below is a flat memcpy, negligible
+/// against millions of events.
+pub fn run_million_node(
+    topo: &Topology,
+    next: &[u32],
+    cross: &[u32],
+    rounds: u32,
+    shards: usize,
+    seed: u64,
+) -> MillionRun {
+    let n = topo.len();
+    let mut sim = ShardedSim::new(topo.clone(), seed, shards, |i| GossipNode {
+        next: next[i],
+        cross: cross[i],
+        rounds,
+        round: 0,
+        recvd: 0,
+    })
+    .expect("EUA topology is shardable");
+    sim.run_to_quiescence();
+    let expected =
+        n as u64 * u64::from(rounds) * 2 + n as u64 + n.div_ceil(16) as u64 * u64::from(rounds);
+    assert_eq!(sim.events_processed(), expected, "gossip lost events");
+    MillionRun {
+        events: sim.events_processed(),
+        state_bytes: sim.state_bytes(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn million_node_is_shard_invariant_and_exact() {
+        let topo = build_eua_topology(600, 42);
+        let (next, cross) = zone_rings(&topo);
+        let n = topo.len() as u64;
+        let r1 = run_million_node(&topo, &next, &cross, 3, 1, 42);
+        let r4 = run_million_node(&topo, &next, &cross, 3, 4, 42);
+        assert_eq!(r1.events, r4.events);
+        assert_eq!(r1.events, n + n * 6 + (n as usize).div_ceil(16) as u64 * 3);
+        assert!(r1.state_bytes > 0);
+    }
+
+    #[test]
+    fn zone_rings_stay_inside_zones() {
+        let topo = build_eua_topology(500, 7);
+        let (next, cross) = zone_rings(&topo);
+        for i in 0..topo.len() {
+            assert_eq!(topo.region(i), topo.region(next[i] as usize));
+            assert_ne!(topo.region(i), topo.region(cross[i] as usize));
+        }
+    }
 
     #[test]
     fn churn_event_count_is_exact() {

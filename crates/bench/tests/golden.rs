@@ -21,7 +21,15 @@ use totoro_bench::scenarios;
 
 fn run(name: &str, args: &[&str]) -> String {
     let scenario = scenarios::find(name).expect("scenario registered");
-    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    // CI reruns the whole suite with TOTORO_GOLDEN_SHARDS=4 to prove the
+    // `--shards` flag is inert on figure scenarios: they pin the sequential
+    // engine (whose goldens fix one same-instant interleaving), so the flag
+    // must flow through without perturbing a byte of output.
+    if let Ok(shards) = std::env::var("TOTORO_GOLDEN_SHARDS") {
+        args.push("--shards".to_string());
+        args.push(shards);
+    }
     let params = parse_params(scenario.default_params(), &args).expect("valid args");
     execute(scenario.as_ref(), &params)
 }

@@ -21,6 +21,10 @@
 //!   `#![forbid(unsafe_code)]`.
 //! * **DET005 `bad-annotation`** — suppressions must name a known class
 //!   and carry a written reason.
+//! * **DET006 `thread-primitives`** — `thread::spawn`/`thread::scope`,
+//!   `Mutex`, and `mpsc` are forbidden in protocol crates outside the
+//!   sanctioned shard runner (`crates/simnet/src/shard.rs`): ad-hoc
+//!   threading makes event order scheduler-dependent.
 //!
 //! Built on a hand-rolled lexer ([`lexer`]) that masks comments and
 //! string literals exactly (nested block comments, raw strings, byte

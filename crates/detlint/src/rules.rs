@@ -41,6 +41,13 @@ pub const ENTROPY_CRATES: &[&str] = &[
 pub const GOLDEN_ALLOWED_FILES: &[&str] =
     &["crates/bench/src/report.rs", "crates/bench/src/logging.rs"];
 
+/// The only protocol-crate modules allowed to use thread primitives: the
+/// conservative shard runner, whose barrier/mailbox protocol carries a
+/// written determinism argument (DESIGN.md §13). Ad-hoc threads, locks,
+/// or channels anywhere else in a protocol crate make event order depend
+/// on the scheduler.
+pub const SHARD_RUNNER_FILES: &[&str] = &["crates/simnet/src/shard.rs"];
+
 /// Stable rule identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
@@ -54,6 +61,9 @@ pub enum RuleId {
     UnsafeForbid,
     /// DET005: malformed `det: allow` (unknown class or missing reason).
     BadAnnotation,
+    /// DET006: raw thread primitives in a protocol crate outside the
+    /// sanctioned shard-runner module.
+    ThreadPrimitives,
 }
 
 impl RuleId {
@@ -65,6 +75,7 @@ impl RuleId {
             RuleId::GoldenSurface => "DET003",
             RuleId::UnsafeForbid => "DET004",
             RuleId::BadAnnotation => "DET005",
+            RuleId::ThreadPrimitives => "DET006",
         }
     }
 
@@ -76,6 +87,7 @@ impl RuleId {
             RuleId::GoldenSurface => "golden-surface",
             RuleId::UnsafeForbid => "unsafe-forbid",
             RuleId::BadAnnotation => "bad-annotation",
+            RuleId::ThreadPrimitives => "thread-primitives",
         }
     }
 
@@ -86,13 +98,14 @@ impl RuleId {
             RuleId::UnorderedCollections => Some("unordered"),
             RuleId::AmbientEntropy => Some("entropy"),
             RuleId::GoldenSurface => Some("golden_out"),
+            RuleId::ThreadPrimitives => Some("parallel"),
             RuleId::UnsafeForbid | RuleId::BadAnnotation => None,
         }
     }
 }
 
 /// Every valid annotation class (for `bad-annotation` validation).
-pub const ALLOW_CLASSES: &[&str] = &["unordered", "entropy", "golden_out"];
+pub const ALLOW_CLASSES: &[&str] = &["unordered", "entropy", "golden_out", "parallel"];
 
 /// One diagnostic.
 #[derive(Debug, Clone)]
@@ -127,6 +140,17 @@ const ENTROPY_PATTERNS: &[&[&str]] = &[
 /// `print` so the longest name wins nothing — matches are whole-ident.
 const GOLDEN_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
 
+/// Identifier paths DET006 hunts for: spawning threads and the sync
+/// primitives that make event order scheduler-dependent. `Mutex` and
+/// `mpsc` are matched bare so both `std::sync::Mutex` and a `use`d name
+/// trip the rule.
+const THREAD_PATTERNS: &[&[&str]] = &[
+    &["thread", "spawn"],
+    &["thread", "scope"],
+    &["Mutex"],
+    &["mpsc"],
+];
+
 /// Runs every applicable rule over one lexed file.
 pub fn scan_file(sf: &SourceFile, lexed: &Lexed, findings: &mut Vec<Finding>) {
     let allows = &lexed.allows;
@@ -138,6 +162,9 @@ pub fn scan_file(sf: &SourceFile, lexed: &Lexed, findings: &mut Vec<Finding>) {
     if sf.kind == FileKind::Src {
         if in_crates(&sf.crate_name, PROTOCOL_CRATES) {
             scan_unordered(sf, lexed, findings);
+            if !SHARD_RUNNER_FILES.contains(&sf.rel.as_str()) {
+                scan_thread_primitives(sf, lexed, findings);
+            }
         }
         if in_crates(&sf.crate_name, ENTROPY_CRATES) {
             scan_entropy(sf, lexed, findings);
@@ -274,6 +301,32 @@ fn scan_golden_surface(sf: &SourceFile, lexed: &Lexed, findings: &mut Vec<Findin
                          surface (route through totoro_bench::report) and stderr goes through \
                          totoro_bench::logging; or add \
                          `// det: allow(golden_out: <why this stream is not a golden surface>)`"
+                    ),
+                },
+            );
+        }
+    }
+}
+
+/// DET006: thread primitives outside the sanctioned shard runner.
+fn scan_thread_primitives(sf: &SourceFile, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    for pat in THREAD_PATTERNS {
+        for (line, col) in find_path(&lexed.masked, pat) {
+            let shown = pat.join("::");
+            push(
+                &lexed.allows,
+                findings,
+                Finding {
+                    rule: RuleId::ThreadPrimitives,
+                    file: sf.rel.clone(),
+                    line,
+                    col,
+                    token: shown.clone(),
+                    message: format!(
+                        "`{shown}` in a protocol crate: threads, locks, and channels make \
+                         event order scheduler-dependent; parallel execution belongs in the \
+                         sanctioned shard runner (crates/simnet/src/shard.rs), or add \
+                         `// det: allow(parallel: <why scheduling cannot reach simulated state>)`"
                     ),
                 },
             );
@@ -600,6 +653,71 @@ mod tests {
             "pubsub",
             "// a HashMap lives here\nlet s = r#\"HashMap\"#;\nlet t = \"HashMap\";\n",
         );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn thread_spawn_in_protocol_crate_is_flagged_with_position() {
+        let f = scan(
+            "crates/dht/src/node.rs",
+            "dht",
+            "let h = std::thread::spawn(|| {});\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::ThreadPrimitives);
+        assert_eq!((f[0].line, f[0].col), (1, 14));
+        assert_eq!(f[0].token, "thread::spawn");
+    }
+
+    #[test]
+    fn mutex_and_mpsc_are_flagged_and_allow_parallel_suppresses() {
+        let f = scan(
+            "crates/pubsub/src/forest.rs",
+            "pubsub",
+            "use std::sync::{mpsc, Mutex};\n",
+        );
+        let tokens: Vec<&str> = f.iter().map(|x| x.token.as_str()).collect();
+        assert!(tokens.contains(&"Mutex"), "{f:?}");
+        assert!(tokens.contains(&"mpsc"), "{f:?}");
+        let ok = scan(
+            "crates/pubsub/src/forest.rs",
+            "pubsub",
+            "let m = Mutex::new(0); // det: allow(parallel: host-only metric)\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn shard_runner_module_is_exempt_from_thread_rule() {
+        let ok = scan(
+            "crates/simnet/src/shard.rs",
+            "simnet",
+            "std::thread::scope(|s| { let _ = s; });\nlet m = Mutex::new(0);\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn thread_primitives_outside_protocol_crates_are_not_flagged() {
+        let ok = scan(
+            "crates/detlint/src/workspace.rs",
+            "detlint",
+            "let h = std::thread::spawn(|| {});\nlet m = Mutex::new(0);\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn thread_primitives_in_tests_are_out_of_scope() {
+        let sf = src_file(
+            "crates/simnet/tests/shard_equiv.rs",
+            "simnet",
+            FileKind::Tests,
+            false,
+        );
+        let lexed = lex("let (tx, rx) = mpsc::channel();\n");
+        let mut f = Vec::new();
+        scan_file(&sf, &lexed, &mut f);
         assert!(f.is_empty(), "{f:?}");
     }
 }

@@ -28,6 +28,7 @@ fn fixture_tree_yields_exactly_one_violation_per_rule_site() {
         ("DET005", "crates/core/src/lib.rs", 8, 15),
         ("DET004", "crates/dht/src/lib.rs", 1, 1),
         ("DET001", "crates/pubsub/src/lib.rs", 8, 17),
+        ("DET006", "crates/simnet/src/runner.rs", 5, 18),
         ("DET002", "crates/simnet/src/sim.rs", 5, 17),
     ]
     .into_iter()
@@ -49,6 +50,7 @@ fn fixture_decoy_suppressions_appear_in_the_allow_audit() {
         .collect();
     assert!(classes.contains(&"unordered"));
     assert!(classes.contains(&"entropy"));
+    assert!(classes.contains(&"parallel"));
     assert!(
         classes.contains(&"speed"),
         "malformed allows stay auditable"
@@ -59,11 +61,12 @@ fn fixture_decoy_suppressions_appear_in_the_allow_audit() {
 fn each_rule_fires_and_each_annotated_decoy_is_silent() {
     let report = lint_root(&fixture_root()).expect("fixture tree lints");
     let codes: Vec<&str> = report.findings.iter().map(|f| f.rule.code()).collect();
-    for rule in ["DET001", "DET002", "DET003", "DET004", "DET005"] {
+    for rule in ["DET001", "DET002", "DET003", "DET004", "DET005", "DET006"] {
         assert!(codes.contains(&rule), "{rule} must fire on its fixture");
     }
-    // The annotated HashMap in pubsub's `Good` struct (line 13) and the
-    // suppressed env::var in simnet (line 11) must not be flagged.
+    // The annotated HashMap in pubsub's `Good` struct (line 13), the
+    // suppressed env::var in simnet/sim.rs (line 11), and the sanctioned
+    // shard runner must not be flagged.
     assert!(
         !report
             .findings
@@ -78,6 +81,8 @@ fn each_rule_fires_and_each_annotated_decoy_is_silent() {
             .any(|f| f.line == 11 && f.file.contains("simnet")),
         "suppressed env::var decoy was flagged"
     );
+    // The sanctioned shard runner may use thread primitives.
+    assert!(!report.findings.iter().any(|f| f.file.contains("shard.rs")));
     // The allowed module may print.
     assert!(!report.findings.iter().any(|f| f.file.contains("report.rs")));
 }

@@ -1,0 +1,13 @@
+//! Fixture: one deliberate DET006 violation (line 5). The mention of
+//! thread::spawn in this comment must not be flagged.
+
+pub fn bad_parallel() {
+    let h = std::thread::spawn(|| {});
+    h.join().unwrap();
+}
+
+pub fn good_parallel() {
+    // det: allow(parallel: fixture decoy — lock guards host-only metrics)
+    let m = Mutex::new(0u32);
+    let _ = m;
+}

@@ -1,0 +1,9 @@
+//! Fixture: the sanctioned shard-runner path — thread primitives here
+//! are exempt from DET006 by file, not by annotation.
+
+pub fn sanctioned() {
+    std::thread::scope(|s| {
+        let _ = s;
+    });
+    let _ = Mutex::new(0u32);
+}

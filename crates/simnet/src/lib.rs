@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod binning;
+pub mod bitset;
 pub mod chaos;
 pub mod churn;
 pub mod geo;
@@ -27,6 +28,7 @@ pub mod obs;
 pub mod payload;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod time;
 pub mod topology;
@@ -34,6 +36,7 @@ pub mod traffic;
 pub mod trial;
 
 pub use binning::{assign_zones, BinningConfig, ZoneAssignment, ZoneSummary};
+pub use bitset::BitSet;
 pub use chaos::{
     run_with_invariants, ChaosInjector, ChaosStats, CheckpointConfig, Fault, FaultFilter,
     FaultKind, FaultPlan, Invariant, InvariantPhase, SendVerdict, Violation,
@@ -47,7 +50,8 @@ pub use obs::{
 };
 pub use payload::Shared;
 pub use queue::{EventKey, EventQueue, HeapQueue, WheelQueue};
-pub use rng::{derive_seed, sub_rng};
+pub use rng::{derive_seed, keyed_unit, sub_rng};
+pub use shard::{ShardError, ShardPlan, ShardedSim};
 pub use sim::{Application, ComputeKind, Ctx, Payload, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LatencyModel, NodeIdx, NodeProfile, Topology, BASE_EDGE_FLOPS};

@@ -236,6 +236,17 @@ fn tick_of(time: SimTime) -> u64 {
 }
 
 impl WheelQueue {
+    /// Heap bytes currently reserved by the wheel (bucket, drain, and
+    /// overflow capacities) — memory accounting for million-node trials.
+    pub fn heap_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<Entry>();
+        let buckets: usize = self.slots.iter().map(|b| b.capacity() * entry).sum();
+        buckets
+            + self.slots.capacity() * std::mem::size_of::<Vec<Entry>>()
+            + self.drain.capacity() * entry
+            + self.overflow.capacity() * entry
+    }
+
     /// End of the wheel window (exclusive), in ticks.
     #[inline]
     fn window_end(&self) -> u64 {

@@ -1,0 +1,1387 @@
+//! Deterministic intra-trial parallelism: conservative sharded execution.
+//!
+//! [`ShardedSim`] partitions the nodes of one simulation into `K` shards
+//! by topology region (zones never split across shards), runs each shard
+//! on its own thread with a private [`WheelQueue`]/[`EventSlab`] pair,
+//! and synchronizes the shards with classic *conservative lookahead*
+//! windows: all shards agree on the earliest pending event time `T`,
+//! then each independently processes every local event in
+//! `[T, T + L)`, where the lookahead `L` is a lower bound on the delay
+//! of any inter-region message
+//! ([`Topology::min_inter_region_delay`]). A message sent during the
+//! window can only arrive at `>= T + L`, so cross-shard sends are parked
+//! in per-pair mailboxes and handed off at the window barrier — before
+//! any event they could possibly precede is dispatched.
+//!
+//! # The shard-invariance contract
+//!
+//! The sequential [`Simulator`](crate::sim::Simulator) orders same-time
+//! events by a *global creation counter*, and feeds one global RNG in
+//! that order. Neither survives parallel execution, so the sharded
+//! engine replaces them with shard-count-independent equivalents:
+//!
+//! * **Event keys.** Every event's tie-break key is
+//!   `(origin_node << 40) | per_origin_counter` — the node that
+//!   *created* the event, and that node's private creation counter.
+//!   Each node lives in exactly one shard, so its counter sequence is
+//!   identical at any shard count, giving one total order
+//!   `(time, origin, counter)` that every `K` dispatches in.
+//! * **Closed timestamps.** An action scheduled with zero effective
+//!   delay lands at `now + 1 µs` (the clock's resolution) instead of
+//!   `now`, so the set of events at a timestamp is closed before that
+//!   timestamp dispatches — the `(origin, counter)` order within a
+//!   timestamp is then causally consistent by construction. This is the
+//!   one scheduling difference from the sequential engine.
+//! * **No global RNG.** The topology must be RNG-free
+//!   ([`Topology::delay_is_deterministic`]), chaos must be *keyed*
+//!   ([`FaultPlan::keyed_injector`]), and applications that want
+//!   identical results across shard counts must not draw from
+//!   [`Ctx::rng`] (each shard has a private stream, so draws are
+//!   reproducible per `(seed, K)` but not across `K`).
+//! * **Commutative ledgers.** Traffic and compute are aggregated per
+//!   *zone* ([`ZoneLedger`]); a zone lives wholly inside one shard and
+//!   the counters are sums, so merged totals are shard-count-invariant.
+//!
+//! Under that contract, everything observable — event counts, event
+//! times, final clock, per-zone ledgers, chaos stats, application state,
+//! and merged trace records — is byte-identical for any `--shards N`.
+//! Relative to the sequential engine, a sharded run agrees on the event
+//! multiset, event times (up to the 1 µs closure above), and all
+//! order-insensitive observables; only same-instant tie-break order may
+//! differ. The evaluation scenarios therefore keep the sequential engine
+//! (their goldens pin its exact interleaving); the sharded engine powers
+//! the million-node scale axis, with its own invariance tests.
+//!
+//! This module is the one sanctioned home of thread primitives in the
+//! protocol crates (detlint rule DET006): workers are scoped threads,
+//! window agreement uses a [`Barrier`], and mailboxes are per-`(i, j)`
+//! mutexes that are never contended (writers and readers are separated
+//! by the barrier).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use rand::rngs::StdRng;
+
+use crate::bitset::BitSet;
+use crate::chaos::{ChaosInjector, ChaosStats, FaultPlan};
+use crate::churn::ChurnSchedule;
+use crate::obs::{DropReason, MsgMeta, TraceBody, TraceRecord, ROOT_PARENT};
+use crate::queue::{EventKey, EventQueue, WheelQueue};
+use crate::rng::sub_rng;
+use crate::sim::{
+    Action, Application, ComputeKind, Ctx, EventKind, EventSlab, Payload, PendingEvent,
+};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeIdx, Topology};
+use crate::traffic::{TrafficTotals, ZoneLedger};
+
+/// Bits reserved for the per-origin creation counter in an event key's
+/// sequence word; the origin node index occupies the bits above.
+const COUNTER_BITS: u32 = 40;
+
+/// Why a topology/shard-count combination cannot be sharded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// `shards == 0` was requested.
+    ZeroShards,
+    /// The topology draws from the RNG when sampling delay or loss
+    /// (jitter, stochastic uniform latency, or nonzero loss), so a
+    /// global stream order would be required.
+    StochasticTopology,
+    /// The topology's inter-region delay lower bound is zero — no
+    /// conservative window can make progress.
+    ZeroLookahead,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::ZeroShards => write!(f, "shard count must be at least 1"),
+            ShardError::StochasticTopology => write!(
+                f,
+                "sharded execution requires an RNG-free topology \
+                 (zero jitter, zero loss, fixed latency)"
+            ),
+            ShardError::ZeroLookahead => write!(
+                f,
+                "inter-region delay lower bound is zero; \
+                 conservative windows cannot make progress"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// The deterministic node→shard assignment for one topology.
+///
+/// Regions are never split: the partitioner greedily packs whole regions
+/// (largest node count first, region id as tie-break) onto the currently
+/// lightest shard. The requested shard count is clamped to the number of
+/// populated regions, so no shard is ever empty.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Node → owning shard.
+    node_shard: Vec<u32>,
+    /// Node → index within its shard's local tables.
+    local_index: Vec<u32>,
+    /// Shard → member nodes, ascending global index.
+    members: Vec<Vec<NodeIdx>>,
+    /// Conservative lookahead (zero when `shards == 1`, where no window
+    /// synchronization happens).
+    lookahead: SimDuration,
+}
+
+impl ShardPlan {
+    /// Builds a plan for `shards` shards over `topology`.
+    pub fn new(topology: &Topology, shards: usize) -> Result<ShardPlan, ShardError> {
+        if shards == 0 {
+            return Err(ShardError::ZeroShards);
+        }
+        let n = topology.len();
+        assert!(
+            (n as u64) < (1u64 << (64 - COUNTER_BITS)),
+            "node count exceeds the event-key origin field"
+        );
+        let nregions = topology.num_regions().max(1);
+        let mut region_count = vec![0u64; nregions];
+        for i in 0..n {
+            region_count[topology.region(i) as usize] += 1;
+        }
+        let populated = region_count.iter().filter(|&&c| c > 0).count().max(1);
+        let k = shards.min(populated);
+        let lookahead = if k > 1 {
+            let lb = topology
+                .min_inter_region_delay()
+                .expect(">= 2 populated regions");
+            if lb == SimDuration::ZERO {
+                return Err(ShardError::ZeroLookahead);
+            }
+            lb
+        } else {
+            SimDuration::ZERO
+        };
+        // Greedy bin-packing of whole regions: biggest first, onto the
+        // lightest shard; ties broken by region id / shard id, so the
+        // assignment is a pure function of the topology.
+        let mut order: Vec<usize> = (0..nregions).collect();
+        order.sort_by_key(|&r| (u64::MAX - region_count[r], r));
+        let mut region_shard = vec![0u32; nregions];
+        let mut load = vec![0u64; k];
+        for r in order {
+            let lightest = (0..k).min_by_key(|&s| (load[s], s)).expect("k >= 1");
+            region_shard[r] = lightest as u32;
+            load[lightest] += region_count[r];
+        }
+        let mut node_shard = vec![0u32; n];
+        let mut local_index = vec![0u32; n];
+        let mut members: Vec<Vec<NodeIdx>> = vec![Vec::new(); k];
+        for i in 0..n {
+            let s = region_shard[topology.region(i) as usize];
+            node_shard[i] = s;
+            local_index[i] = members[s as usize].len() as u32;
+            members[s as usize].push(i);
+        }
+        Ok(ShardPlan {
+            node_shard,
+            local_index,
+            members,
+            lookahead,
+        })
+    }
+
+    /// Number of shards (after clamping to populated regions).
+    pub fn shards(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The shard owning `node`.
+    pub fn shard_of(&self, node: NodeIdx) -> usize {
+        self.node_shard[node] as usize
+    }
+
+    /// Number of nodes on shard `s`.
+    pub fn shard_len(&self, s: usize) -> usize {
+        self.members[s].len()
+    }
+
+    /// The conservative lookahead (zero for a single shard).
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Heap bytes held by the plan's per-node tables.
+    fn heap_bytes(&self) -> usize {
+        self.node_shard.capacity() * 4
+            + self.local_index.capacity() * 4
+            + self
+                .members
+                .iter()
+                .map(|m| m.capacity() * std::mem::size_of::<NodeIdx>())
+                .sum::<usize>()
+    }
+}
+
+/// One row of the window-exchange matrix: mailbox `row[j]` holds events
+/// a shard sent toward shard `j`, locked only across a barrier.
+type MailboxRow<M> = Vec<Mutex<Vec<RemoteEvent<M>>>>;
+
+/// A cross-shard event in flight: its full key is precomputed by the
+/// sending shard, so the receiving shard just inserts it.
+struct RemoteEvent<M> {
+    at: SimTime,
+    seq: u64,
+    dst: NodeIdx,
+    kind: EventKind<M>,
+    meta: MsgMeta,
+}
+
+/// One shard: a self-contained event loop over the shard's member nodes.
+struct ShardCore<A: Application> {
+    id: usize,
+    /// Application state of member nodes, local index order.
+    nodes: Vec<A>,
+    /// Local index → global node index (ascending).
+    globals: Vec<NodeIdx>,
+    /// Liveness bits, local index order.
+    alive: BitSet,
+    /// Per-origin event creation counters (the low word of event keys).
+    counters: Vec<u64>,
+    queue: WheelQueue,
+    slab: EventSlab<A::Msg>,
+    now: SimTime,
+    rng: StdRng,
+    traffic: ZoneLedger,
+    compute_fl_us: Vec<u64>,
+    compute_dht_us: Vec<u64>,
+    scratch: Vec<Action<A::Msg>>,
+    events_processed: u64,
+    dropped_loss: u64,
+    dropped_dead: u64,
+    chaos: Option<ChaosInjector>,
+    /// Outgoing cross-shard events, one buffer per destination shard.
+    outbox: Vec<Vec<RemoteEvent<A::Msg>>>,
+    /// Trace collection: `(dispatch key, emission index, record)`;
+    /// `None` when untraced (zero cost, like `NoopSink`).
+    trace: Option<Vec<(EventKey, u32, TraceRecord)>>,
+    /// Per-origin message-id counters (traced runs only; ids start at 1
+    /// so `MsgMeta::is_traced` stays meaningful).
+    msg_counters: Vec<u64>,
+    /// Causal meta parked per slab slot (traced runs only).
+    meta_slots: Vec<MsgMeta>,
+    /// Key of the event currently dispatching (trace merge key).
+    trace_key: EventKey,
+    /// Emission index within the current event.
+    trace_sub: u32,
+}
+
+impl<A: Application> ShardCore<A> {
+    fn new(id: usize, globals: Vec<NodeIdx>, zones: usize, seed: u64) -> Self {
+        let local_n = globals.len();
+        // Steady-state in-flight events per node is small (a timer plus a
+        // couple of messages); a 2x hint keeps slab doubling rare without
+        // paying the sequential engine's 4x reservation at 1M nodes.
+        let event_cap = local_n.saturating_mul(2).max(64);
+        ShardCore {
+            id,
+            nodes: Vec::with_capacity(local_n),
+            alive: BitSet::filled(local_n, true),
+            counters: vec![0; local_n],
+            queue: WheelQueue::with_capacity(event_cap),
+            slab: EventSlab::with_capacity(event_cap),
+            now: SimTime::ZERO,
+            rng: sub_rng(seed, &format!("shard-{id}")),
+            traffic: ZoneLedger::new(zones),
+            compute_fl_us: vec![0; zones],
+            compute_dht_us: vec![0; zones],
+            scratch: Vec::with_capacity(local_n.clamp(16, 1_024)),
+            events_processed: 0,
+            dropped_loss: 0,
+            dropped_dead: 0,
+            chaos: None,
+            outbox: Vec::new(),
+            trace: None,
+            msg_counters: Vec::new(),
+            meta_slots: Vec::new(),
+            globals,
+            trace_key: EventKey {
+                time: SimTime::ZERO,
+                seq: 0,
+            },
+            trace_sub: 0,
+        }
+    }
+
+    #[inline]
+    fn traced(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Mints the next event-key sequence word for events originated by
+    /// local node `local`: `(global_index << COUNTER_BITS) | counter`.
+    #[inline]
+    fn mint_seq(&mut self, local: usize) -> u64 {
+        let c = self.counters[local];
+        self.counters[local] = c + 1;
+        debug_assert!(c < 1 << COUNTER_BITS, "per-node counter overflow");
+        ((self.globals[local] as u64) << COUNTER_BITS) | c
+    }
+
+    /// Mints a message id for traced sends (a separate id space from
+    /// event keys, so tracing never perturbs dispatch order).
+    #[inline]
+    fn mint_msg_id(&mut self, local: usize) -> u64 {
+        let c = self.msg_counters[local];
+        self.msg_counters[local] = c + 1;
+        ((self.globals[local] as u64) << COUNTER_BITS) | c
+    }
+
+    /// Closes the current timestamp: anything scheduled at or before
+    /// `now` lands at `now + 1 µs` (see the module docs).
+    #[inline]
+    fn close(&self, at: SimTime) -> SimTime {
+        if at <= self.now {
+            self.now + SimDuration::from_micros(1)
+        } else {
+            at
+        }
+    }
+
+    fn enqueue(
+        &mut self,
+        at: SimTime,
+        seq: u64,
+        node: NodeIdx,
+        kind: EventKind<A::Msg>,
+        meta: MsgMeta,
+    ) {
+        let slot = self.slab.insert(PendingEvent { node, kind });
+        if self.traced() {
+            let i = slot as usize;
+            if self.meta_slots.len() <= i {
+                self.meta_slots.resize(i + 1, MsgMeta::NONE);
+            }
+            self.meta_slots[i] = meta;
+        }
+        self.queue.push(EventKey { time: at, seq }, slot);
+    }
+
+    /// Enqueues locally or parks in the outbox for the owning shard.
+    fn route(
+        &mut self,
+        plan: &ShardPlan,
+        at: SimTime,
+        seq: u64,
+        dst: NodeIdx,
+        kind: EventKind<A::Msg>,
+        meta: MsgMeta,
+    ) {
+        let shard = plan.node_shard[dst] as usize;
+        if shard == self.id {
+            self.enqueue(at, seq, dst, kind, meta);
+        } else {
+            self.outbox[shard].push(RemoteEvent {
+                at,
+                seq,
+                dst,
+                kind,
+                meta,
+            });
+        }
+    }
+
+    fn enqueue_remote(&mut self, ev: RemoteEvent<A::Msg>) {
+        debug_assert!(ev.at > self.now, "cross-shard event inside the window");
+        self.enqueue(ev.at, ev.seq, ev.dst, ev.kind, ev.meta);
+    }
+
+    /// Earliest pending event time in microseconds (`u64::MAX` if idle).
+    fn next_due_us(&mut self) -> u64 {
+        self.queue
+            .peek()
+            .map_or(u64::MAX, |(key, _)| key.time.as_micros())
+    }
+
+    #[inline]
+    fn record(&mut self, r: TraceRecord) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push((self.trace_key, self.trace_sub, r));
+            self.trace_sub += 1;
+        }
+    }
+
+    /// Dispatches every local event with time strictly below
+    /// `end_us` (exclusive).
+    fn process_window(&mut self, end_us: u64, topology: &Topology, plan: &ShardPlan) {
+        debug_assert!(end_us > 0);
+        let bound = SimTime::from_micros(end_us - 1);
+        while let Some((key, slot)) = self.queue.pop_before(bound) {
+            self.dispatch(key, slot, topology, plan);
+        }
+    }
+
+    fn dispatch(&mut self, key: EventKey, slot: u32, topology: &Topology, plan: &ShardPlan) {
+        let meta = if self.traced() {
+            self.meta_slots
+                .get(slot as usize)
+                .copied()
+                .unwrap_or(MsgMeta::NONE)
+        } else {
+            MsgMeta::NONE
+        };
+        let PendingEvent { node, kind } = self.slab.take(slot);
+        debug_assert!(key.time >= self.now, "time went backwards");
+        self.now = key.time;
+        self.events_processed += 1;
+        self.trace_key = key;
+        self.trace_sub = 0;
+        let local = plan.local_index[node] as usize;
+        let up = self.alive.get(local);
+        // Records first (mirroring the sequential engine), then callbacks.
+        if self.traced() {
+            match &kind {
+                EventKind::Deliver { src, msg } => {
+                    let (layer, mkind) = tag(msg);
+                    let (about, body) = if up {
+                        (
+                            node,
+                            TraceBody::Deliver {
+                                from: *src,
+                                bytes: msg.size_bytes(),
+                                meta,
+                            },
+                        )
+                    } else {
+                        (
+                            *src,
+                            TraceBody::Drop {
+                                to: node,
+                                bytes: msg.size_bytes(),
+                                reason: DropReason::DeadDest,
+                                meta,
+                            },
+                        )
+                    };
+                    self.record(TraceRecord {
+                        at_us: self.now.as_micros(),
+                        node: about,
+                        layer,
+                        kind: mkind,
+                        body,
+                    });
+                }
+                EventKind::Timer { token } => {
+                    if up {
+                        self.record(TraceRecord {
+                            at_us: self.now.as_micros(),
+                            node,
+                            layer: "sim",
+                            kind: "timer",
+                            body: TraceBody::TimerFire { token: *token },
+                        });
+                    }
+                }
+                EventKind::Down => {
+                    if up {
+                        self.record(TraceRecord {
+                            at_us: self.now.as_micros(),
+                            node,
+                            layer: "sim",
+                            kind: "down",
+                            body: TraceBody::NodeDown,
+                        });
+                    }
+                }
+                EventKind::Up => {
+                    if !up {
+                        self.record(TraceRecord {
+                            at_us: self.now.as_micros(),
+                            node,
+                            layer: "sim",
+                            kind: "up",
+                            body: TraceBody::NodeUp,
+                        });
+                    }
+                }
+                EventKind::Start | EventKind::SendFailed { .. } => {}
+            }
+        }
+        let cause = match &kind {
+            EventKind::Deliver { .. } if up => meta,
+            _ => MsgMeta::NONE,
+        };
+        debug_assert!(self.scratch.is_empty());
+        let mut actions = std::mem::take(&mut self.scratch);
+        let mut bounce: Option<NodeIdx> = None;
+        {
+            let mut ctx = Ctx::scoped(self.now, node, &mut actions, &mut self.rng, topology);
+            match kind {
+                EventKind::Start => {
+                    if up {
+                        self.nodes[local].on_start(&mut ctx);
+                    }
+                }
+                EventKind::Deliver { src, msg } => {
+                    if up {
+                        self.traffic
+                            .record_recv(topology.region(node), msg.size_bytes());
+                        self.nodes[local].on_message(&mut ctx, src, msg);
+                    } else {
+                        self.dropped_dead += 1;
+                        bounce = Some(src);
+                    }
+                }
+                EventKind::SendFailed { peer } => {
+                    if up {
+                        self.nodes[local].on_send_failed(&mut ctx, peer);
+                    }
+                }
+                EventKind::Timer { token } => {
+                    if up {
+                        self.nodes[local].on_timer(&mut ctx, token);
+                    }
+                }
+                EventKind::Down => {
+                    if up {
+                        self.alive.set(local, false);
+                        self.nodes[local].on_down();
+                    }
+                }
+                EventKind::Up => {
+                    if !up {
+                        self.alive.set(local, true);
+                        self.nodes[local].on_up(&mut ctx);
+                    }
+                }
+            }
+        }
+        self.apply_actions(node, local, &mut actions, cause, topology, plan);
+        self.scratch = actions;
+        if let Some(src) = bounce {
+            // TCP-RST-like failure bounce, originated by the dead
+            // destination's shard; it re-crosses the shard boundary with
+            // at least one full network delay, so the lookahead bound
+            // still covers it.
+            let delay = topology.sample_delay(node, src, 64, &mut self.rng);
+            let at = self.close(self.now + delay);
+            let seq = self.mint_seq(local);
+            self.route(
+                plan,
+                at,
+                seq,
+                src,
+                EventKind::SendFailed { peer: node },
+                MsgMeta::NONE,
+            );
+        }
+    }
+
+    fn apply_actions(
+        &mut self,
+        src: NodeIdx,
+        local: usize,
+        actions: &mut Vec<Action<A::Msg>>,
+        cause: MsgMeta,
+        topology: &Topology,
+        plan: &ShardPlan,
+    ) {
+        let zone = topology.region(src);
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { to, msg, extra } => {
+                    let size = msg.size_bytes();
+                    self.traffic.record_send(zone, size);
+                    let mut meta = MsgMeta::NONE;
+                    if self.traced() {
+                        let id = self.mint_msg_id(local);
+                        meta = if cause.is_traced() {
+                            MsgMeta {
+                                trace: cause.trace,
+                                id,
+                                parent: cause.id,
+                                hop: cause.hop.saturating_add(1),
+                            }
+                        } else {
+                            MsgMeta {
+                                trace: id,
+                                id,
+                                parent: ROOT_PARENT,
+                                hop: 0,
+                            }
+                        };
+                    }
+                    // No loss sampling: `delay_is_deterministic` pins the
+                    // base loss probability to zero, and the delay sample
+                    // below consumes no RNG.
+                    let mut delay = topology.sample_delay(src, to, size, &mut self.rng);
+                    let mut duplicate = false;
+                    if let Some(chaos) = self.chaos.as_mut() {
+                        let verdict = chaos.on_send(self.now, src, to, topology);
+                        if verdict.drop {
+                            self.dropped_loss += 1;
+                            if self.traced() {
+                                let (layer, kind) = tag(&msg);
+                                let body = TraceBody::Drop {
+                                    to,
+                                    bytes: size,
+                                    reason: DropReason::Chaos,
+                                    meta,
+                                };
+                                self.record(TraceRecord {
+                                    at_us: self.now.as_micros(),
+                                    node: src,
+                                    layer,
+                                    kind,
+                                    body,
+                                });
+                            }
+                            continue;
+                        }
+                        if verdict.delay_factor > 1 {
+                            delay = delay.saturating_mul(verdict.delay_factor);
+                            if self.traced() {
+                                let (layer, kind) = tag(&msg);
+                                self.record(TraceRecord {
+                                    at_us: self.now.as_micros(),
+                                    node: src,
+                                    layer,
+                                    kind,
+                                    body: TraceBody::ChaosEffect {
+                                        to,
+                                        effect: "delay",
+                                    },
+                                });
+                            }
+                        }
+                        duplicate = verdict.duplicate;
+                        if duplicate && self.traced() {
+                            let (layer, kind) = tag(&msg);
+                            self.record(TraceRecord {
+                                at_us: self.now.as_micros(),
+                                node: src,
+                                layer,
+                                kind,
+                                body: TraceBody::ChaosEffect {
+                                    to,
+                                    effect: "duplicate",
+                                },
+                            });
+                        }
+                    }
+                    let at = self.close(self.now + extra + delay);
+                    if self.traced() {
+                        let (layer, kind) = tag(&msg);
+                        self.record(TraceRecord {
+                            at_us: self.now.as_micros(),
+                            node: src,
+                            layer,
+                            kind,
+                            body: TraceBody::Send {
+                                to,
+                                bytes: size,
+                                meta,
+                                arrive_at_us: at.as_micros(),
+                            },
+                        });
+                    }
+                    if duplicate {
+                        let mut dup_meta = MsgMeta::NONE;
+                        if self.traced() {
+                            let id = self.mint_msg_id(local);
+                            dup_meta = MsgMeta { id, ..meta };
+                            let (layer, kind) = tag(&msg);
+                            self.record(TraceRecord {
+                                at_us: self.now.as_micros(),
+                                node: src,
+                                layer,
+                                kind,
+                                body: TraceBody::Send {
+                                    to,
+                                    bytes: size,
+                                    meta: dup_meta,
+                                    arrive_at_us: at.as_micros(),
+                                },
+                            });
+                        }
+                        let seq = self.mint_seq(local);
+                        self.route(
+                            plan,
+                            at,
+                            seq,
+                            to,
+                            EventKind::Deliver {
+                                src,
+                                msg: msg.clone(),
+                            },
+                            dup_meta,
+                        );
+                    }
+                    let seq = self.mint_seq(local);
+                    self.route(plan, at, seq, to, EventKind::Deliver { src, msg }, meta);
+                }
+                Action::Timer { delay, token } => {
+                    let at = self.close(self.now + delay);
+                    let seq = self.mint_seq(local);
+                    self.enqueue(at, seq, src, EventKind::Timer { token }, MsgMeta::NONE);
+                }
+                Action::Compute { kind, amount } => {
+                    match kind {
+                        ComputeKind::FlTask => {
+                            self.compute_fl_us[zone as usize] += amount.as_micros()
+                        }
+                        ComputeKind::DhtTask => {
+                            self.compute_dht_us[zone as usize] += amount.as_micros()
+                        }
+                    }
+                    if self.traced() {
+                        let task = match kind {
+                            ComputeKind::FlTask => "fl",
+                            ComputeKind::DhtTask => "dht",
+                        };
+                        self.record(TraceRecord {
+                            at_us: self.now.as_micros(),
+                            node: src,
+                            layer: "sim",
+                            kind: "compute",
+                            body: TraceBody::Compute {
+                                task,
+                                us: amount.as_micros(),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heap bytes reserved by this shard's hot state.
+    fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<A>()
+            + self.globals.capacity() * std::mem::size_of::<NodeIdx>()
+            + self.alive.heap_bytes()
+            + self.counters.capacity() * 8
+            + self.queue.heap_bytes()
+            + self.slab.heap_bytes()
+            + self.msg_counters.capacity() * 8
+            + self.meta_slots.capacity() * std::mem::size_of::<MsgMeta>()
+    }
+}
+
+/// Normalizes a payload's layer/kind tags for record emission (the same
+/// normalization as the sequential engine).
+#[inline]
+fn tag<M: Payload>(msg: &M) -> (&'static str, &'static str) {
+    let layer = msg.layer();
+    let kind = msg.kind();
+    (
+        if layer.is_empty() { "app" } else { layer },
+        if kind.is_empty() { "msg" } else { kind },
+    )
+}
+
+/// The sharded simulator: `K` conservative-parallel event loops over one
+/// topology. See the module docs for the invariance contract.
+pub struct ShardedSim<A: Application> {
+    topology: Topology,
+    plan: ShardPlan,
+    cores: Vec<ShardCore<A>>,
+}
+
+impl<A: Application> ShardedSim<A> {
+    /// Builds a sharded simulator over `topology` with (at most) `shards`
+    /// shards, constructing nodes with `make_node` in global index order.
+    /// `on_start` fires for every node at time zero, exactly like
+    /// [`Simulator::new`](crate::sim::Simulator::new).
+    ///
+    /// Fails when the topology is stochastic or (for `shards > 1`) when
+    /// no positive lookahead can be derived.
+    pub fn new(
+        topology: Topology,
+        seed: u64,
+        shards: usize,
+        mut make_node: impl FnMut(NodeIdx) -> A,
+    ) -> Result<Self, ShardError> {
+        if !topology.delay_is_deterministic() {
+            return Err(ShardError::StochasticTopology);
+        }
+        let plan = ShardPlan::new(&topology, shards)?;
+        let k = plan.shards();
+        let zones = topology.num_regions().max(1);
+        let mut cores: Vec<ShardCore<A>> = (0..k)
+            .map(|id| ShardCore::new(id, plan.members[id].clone(), zones, seed))
+            .collect();
+        for core in &mut cores {
+            core.outbox = (0..k).map(|_| Vec::new()).collect();
+        }
+        // Nodes are constructed in global order (construction may be
+        // index-sensitive), then moved to their shard.
+        for g in 0..topology.len() {
+            let app = make_node(g);
+            cores[plan.node_shard[g] as usize].nodes.push(app);
+        }
+        // Time-zero Start events, one per node, keyed by the node itself.
+        for core in &mut cores {
+            for local in 0..core.globals.len() {
+                let seq = core.mint_seq(local);
+                let node = core.globals[local];
+                core.enqueue(SimTime::ZERO, seq, node, EventKind::Start, MsgMeta::NONE);
+            }
+        }
+        Ok(ShardedSim {
+            topology,
+            plan,
+            cores,
+        })
+    }
+
+    /// Enables trace collection (records retrieved with
+    /// [`ShardedSim::take_trace`]). Must be called before running.
+    pub fn with_tracing(mut self) -> Self {
+        for core in &mut self.cores {
+            core.trace = Some(Vec::new());
+            core.msg_counters = vec![1; core.globals.len()];
+        }
+        self
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// Whether the simulation has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.topology.len() == 0
+    }
+
+    /// Number of shards actually in use.
+    pub fn shards(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The conservative lookahead window (zero for one shard).
+    pub fn lookahead(&self) -> SimDuration {
+        self.plan.lookahead()
+    }
+
+    /// The shard plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current simulated time: the latest instant any shard has reached.
+    pub fn now(&self) -> SimTime {
+        self.cores
+            .iter()
+            .map(|c| c.now)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total events processed across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.cores.iter().map(|c| c.events_processed).sum()
+    }
+
+    /// Messages dropped in flight (chaos faults).
+    pub fn dropped_loss(&self) -> u64 {
+        self.cores.iter().map(|c| c.dropped_loss).sum()
+    }
+
+    /// Messages dropped on arrival at a dead destination.
+    pub fn dropped_dead(&self) -> u64 {
+        self.cores.iter().map(|c| c.dropped_dead).sum()
+    }
+
+    /// Read access to a node's application state.
+    pub fn app(&self, i: NodeIdx) -> &A {
+        let core = &self.cores[self.plan.node_shard[i] as usize];
+        &core.nodes[self.plan.local_index[i] as usize]
+    }
+
+    /// Iterates over all application states in global node order.
+    pub fn apps(&self) -> impl Iterator<Item = &A> {
+        (0..self.len()).map(|i| self.app(i))
+    }
+
+    /// Whether node `i` is currently up.
+    pub fn alive(&self, i: NodeIdx) -> bool {
+        let core = &self.cores[self.plan.node_shard[i] as usize];
+        core.alive.get(self.plan.local_index[i] as usize)
+    }
+
+    /// The merged per-zone traffic ledger.
+    pub fn traffic(&self) -> ZoneLedger {
+        let mut merged = ZoneLedger::new(self.topology.num_regions().max(1));
+        for core in &self.cores {
+            merged.merge(&core.traffic);
+        }
+        merged
+    }
+
+    /// Whole-run traffic totals.
+    pub fn traffic_totals(&self) -> TrafficTotals {
+        self.traffic().totals()
+    }
+
+    /// Total simulated compute microseconds, `(fl, dht)`.
+    pub fn compute_totals(&self) -> (u64, u64) {
+        let fl = self.cores.iter().flat_map(|c| c.compute_fl_us.iter()).sum();
+        let dht = self
+            .cores
+            .iter()
+            .flat_map(|c| c.compute_dht_us.iter())
+            .sum();
+        (fl, dht)
+    }
+
+    /// Merged chaos statistics (zero when no chaos is installed).
+    pub fn chaos_stats(&self) -> ChaosStats {
+        let mut total = ChaosStats::default();
+        for core in &self.cores {
+            if let Some(chaos) = core.chaos.as_ref() {
+                total.dropped += chaos.stats.dropped;
+                total.duplicated += chaos.stats.duplicated;
+                total.delayed += chaos.stats.delayed;
+            }
+        }
+        total
+    }
+
+    /// Schedules node `i` to go down at `at` (call before running).
+    pub fn schedule_down(&mut self, i: NodeIdx, at: SimTime) {
+        self.schedule_transition(i, at, true);
+    }
+
+    /// Schedules node `i` to come back up at `at` (call before running).
+    pub fn schedule_up(&mut self, i: NodeIdx, at: SimTime) {
+        self.schedule_transition(i, at, false);
+    }
+
+    fn schedule_transition(&mut self, i: NodeIdx, at: SimTime, down: bool) {
+        let core = &mut self.cores[self.plan.node_shard[i] as usize];
+        let local = self.plan.local_index[i] as usize;
+        let seq = core.mint_seq(local);
+        let kind = if down { EventKind::Down } else { EventKind::Up };
+        core.enqueue(at, seq, i, kind, MsgMeta::NONE);
+    }
+
+    /// Applies a whole churn schedule (call before running).
+    pub fn apply_churn(&mut self, schedule: &ChurnSchedule) {
+        for ev in schedule.events() {
+            self.schedule_transition(ev.node, ev.at, ev.down);
+        }
+    }
+
+    /// Installs `plan`'s faults as *keyed* injectors (one per shard,
+    /// compiled from the same `(plan, seed)`) plus its churn schedule.
+    /// The keyed form is required: see [`FaultPlan::keyed_injector`].
+    pub fn apply_plan(&mut self, plan: &FaultPlan, seed: u64) {
+        for core in &mut self.cores {
+            let injector = plan.keyed_injector(seed);
+            debug_assert!(injector.is_keyed());
+            core.chaos = Some(injector);
+        }
+        self.apply_churn(plan.churn());
+    }
+
+    /// Merged trace records in the shard-count-invariant
+    /// `(time, origin, counter, emission index)` order. Drains every
+    /// shard's buffer.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        let mut all: Vec<(EventKey, u32, TraceRecord)> = Vec::new();
+        for core in &mut self.cores {
+            if let Some(tr) = core.trace.as_mut() {
+                all.append(tr);
+            }
+        }
+        all.sort_by_key(|(key, sub, _)| (*key, *sub));
+        all.into_iter().map(|(_, _, r)| r).collect()
+    }
+
+    /// Heap bytes reserved by per-node simulator state: shard cores
+    /// (apps, liveness, counters, queues, slabs), the shard plan's
+    /// index tables, and the topology's per-node tables. The
+    /// `million_node` workload divides this by the node count for its
+    /// bytes-per-node ceiling.
+    pub fn state_bytes(&self) -> usize {
+        self.cores.iter().map(|c| c.heap_bytes()).sum::<usize>()
+            + self.plan.heap_bytes()
+            + self.topology.heap_bytes()
+    }
+}
+
+impl<A: Application + Send> ShardedSim<A>
+where
+    A::Msg: Send,
+{
+    /// Runs until every shard's queue holds no event due at or before
+    /// `deadline`. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.events_processed();
+        if self.cores.len() == 1 {
+            // Single shard: no windows, no threads, no handoff — the
+            // zero-cost baseline path.
+            let end = deadline.as_micros().saturating_add(1);
+            let core = &mut self.cores[0];
+            core.process_window(end, &self.topology, &self.plan);
+        } else {
+            self.run_parallel(deadline);
+        }
+        self.events_processed() - before
+    }
+
+    /// Runs until every queue drains. Returns events processed.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// The conservative-parallel window loop. One scoped worker thread
+    /// per shard; two phases per window (process, exchange), separated
+    /// by barriers so the per-pair mailboxes are never contended.
+    fn run_parallel(&mut self, deadline: SimTime) {
+        let k = self.cores.len();
+        let lookahead_us = self.plan.lookahead().as_micros().max(1);
+        let deadline_us = deadline.as_micros();
+        let next_due: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+        let mailboxes: Vec<MailboxRow<A::Msg>> = (0..k)
+            .map(|_| (0..k).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let barrier = Barrier::new(k);
+        let topology = &self.topology;
+        let plan = &self.plan;
+        std::thread::scope(|scope| {
+            for core in self.cores.iter_mut() {
+                let next_due = &next_due;
+                let mailboxes = &mailboxes;
+                let barrier = &barrier;
+                scope.spawn(move || loop {
+                    next_due[core.id].store(core.next_due_us(), Ordering::SeqCst);
+                    barrier.wait();
+                    // Every worker computes the same window from the same
+                    // published values, so they agree without a leader.
+                    let t = next_due
+                        .iter()
+                        .map(|a| a.load(Ordering::SeqCst))
+                        .min()
+                        .expect("k >= 1");
+                    if t == u64::MAX || t > deadline_us {
+                        break;
+                    }
+                    let end_us = t
+                        .saturating_add(lookahead_us)
+                        .min(deadline_us.saturating_add(1));
+                    core.process_window(end_us, topology, plan);
+                    for (j, out) in core.outbox.iter_mut().enumerate() {
+                        if !out.is_empty() {
+                            mailboxes[core.id][j]
+                                .lock()
+                                .expect("mailbox poisoned")
+                                .append(out);
+                        }
+                    }
+                    barrier.wait();
+                    for row in mailboxes.iter() {
+                        let mut inbox = row[core.id].lock().expect("mailbox poisoned");
+                        for ev in inbox.drain(..) {
+                            core.enqueue_remote(ev);
+                        }
+                    }
+                    barrier.wait();
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+    use crate::sim::Simulator;
+    use crate::topology::{LatencyModel, NodeProfile};
+
+    /// A two-zone topology with fixed latency: `n` nodes split evenly,
+    /// zone 0 then zone 1, `latency_us` between any pair.
+    fn two_zone(n: usize, latency_us: u64) -> Topology {
+        let points: Vec<GeoPoint> = (0..n).map(|_| GeoPoint::new(0.0, 0.0)).collect();
+        let regions: Vec<u16> = (0..n).map(|i| if i < n / 2 { 0 } else { 1 }).collect();
+        Topology::from_parts(
+            points,
+            regions,
+            vec![NodeProfile::default(); n],
+            LatencyModel::Uniform {
+                min_us: latency_us,
+                max_us: latency_us,
+            },
+        )
+        .with_jitter(0.0)
+    }
+
+    /// Ping-pong across the zone boundary: node `i` exchanges `rounds`
+    /// messages with its mirror `n - 1 - i`.
+    struct Pong {
+        n: usize,
+        rounds: u64,
+        recvd: u64,
+        failed: u64,
+    }
+
+    #[derive(Clone)]
+    struct Ball(u64);
+
+    impl Payload for Ball {
+        fn size_bytes(&self) -> usize {
+            16
+        }
+    }
+
+    impl Application for Pong {
+        type Msg = Ball;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Ball>) {
+            if ctx.me() < self.n / 2 {
+                ctx.send(self.n - 1 - ctx.me(), Ball(0));
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Ball>, from: NodeIdx, msg: Ball) {
+            self.recvd += 1;
+            if msg.0 + 1 < self.rounds * 2 {
+                ctx.send(from, Ball(msg.0 + 1));
+            }
+        }
+
+        fn on_send_failed(&mut self, _ctx: &mut Ctx<'_, Ball>, _peer: NodeIdx) {
+            self.failed += 1;
+        }
+    }
+
+    fn observables(sim: &ShardedSim<Pong>) -> (u64, u64, TrafficTotals, Vec<u64>, u64) {
+        (
+            sim.events_processed(),
+            sim.now().as_micros(),
+            sim.traffic_totals(),
+            sim.apps().map(|a| a.recvd).collect(),
+            sim.dropped_dead(),
+        )
+    }
+
+    fn run_sharded(n: usize, shards: usize) -> ShardedSim<Pong> {
+        let mut sim = ShardedSim::new(two_zone(n, 500), 7, shards, |_| Pong {
+            n,
+            rounds: 8,
+            recvd: 0,
+            failed: 0,
+        })
+        .expect("shardable");
+        sim.run_to_quiescence();
+        sim
+    }
+
+    #[test]
+    fn plan_partitions_whole_regions_deterministically() {
+        let topo = two_zone(100, 300);
+        let plan = ShardPlan::new(&topo, 2).unwrap();
+        assert_eq!(plan.shards(), 2);
+        for i in 0..100 {
+            assert_eq!(
+                plan.shard_of(i),
+                plan.shard_of(if i < 50 { 0 } else { 99 }),
+                "zone split across shards"
+            );
+        }
+        assert_eq!(plan.shard_len(0) + plan.shard_len(1), 100);
+        assert_eq!(plan.lookahead(), SimDuration::from_micros(300));
+        // More shards than populated regions clamps.
+        assert_eq!(ShardPlan::new(&topo, 8).unwrap().shards(), 2);
+    }
+
+    #[test]
+    fn stochastic_topologies_are_rejected() {
+        let topo = Topology::uniform(10, 100, 200);
+        assert_eq!(
+            ShardedSim::<Pong>::new(topo, 1, 1, |_| unreachable!()).err(),
+            Some(ShardError::StochasticTopology)
+        );
+        let zero = two_zone(10, 0);
+        assert_eq!(
+            ShardPlan::new(&zero, 2).err(),
+            Some(ShardError::ZeroLookahead)
+        );
+        // One shard needs no lookahead.
+        assert!(ShardPlan::new(&zero, 1).is_ok());
+    }
+
+    #[test]
+    fn results_are_shard_count_invariant() {
+        let base = observables(&run_sharded(40, 1));
+        for k in [2, 4] {
+            // 2 zones -> clamped to 2 shards for k = 4; both must still
+            // agree with the single-shard run byte for byte.
+            assert_eq!(base, observables(&run_sharded(40, k)), "shards = {k}");
+        }
+        // Sanity: 40 starts + 20 pairs x 16 deliveries.
+        assert_eq!(base.0, 360);
+    }
+
+    #[test]
+    fn sharded_matches_sequential_on_commutative_observables() {
+        let n = 40;
+        let make = |_: NodeIdx| Pong {
+            n,
+            rounds: 8,
+            recvd: 0,
+            failed: 0,
+        };
+        let mut seq = Simulator::new(two_zone(n, 500), 7, make);
+        seq.run_until_quiet(1_000_000);
+        let sharded = run_sharded(n, 2);
+        assert_eq!(seq.events_processed(), sharded.events_processed());
+        assert_eq!(seq.now(), sharded.now());
+        assert_eq!(seq.traffic().totals(), sharded.traffic_totals());
+        let seq_recvd: Vec<u64> = seq.apps().map(|a| a.recvd).collect();
+        let sh_recvd: Vec<u64> = sharded.apps().map(|a| a.recvd).collect();
+        assert_eq!(seq_recvd, sh_recvd);
+    }
+
+    #[test]
+    fn churn_is_shard_invariant_and_matches_sequential() {
+        let n = 20;
+        let make = |_: NodeIdx| Pong {
+            n,
+            rounds: 50,
+            recvd: 0,
+            failed: 0,
+        };
+        // Mirror node 2 goes down mid-run and comes back; arrivals land
+        // on multiples of 500 µs, the transitions on odd times, so the
+        // sequential and sharded tie-breaks cannot interleave.
+        let down_at = SimTime::from_micros(3_250);
+        let up_at = SimTime::from_micros(9_750);
+        let run_k = |k: usize| {
+            let mut sim = ShardedSim::new(two_zone(n, 500), 3, k, make).unwrap();
+            sim.schedule_down(17, down_at);
+            sim.schedule_up(17, up_at);
+            sim.run_to_quiescence();
+            (observables(&sim), sim.apps().map(|a| a.failed).sum::<u64>())
+        };
+        let (base, base_failed) = run_k(1);
+        assert_eq!((base.clone(), base_failed), run_k(2));
+        assert!(base.4 > 0, "dead-destination drops must occur");
+        assert!(base_failed > 0, "send-failure bounces must fire");
+
+        let mut seq = Simulator::new(two_zone(n, 500), 3, make);
+        seq.schedule_down(17, down_at);
+        seq.schedule_up(17, up_at);
+        seq.run_until_quiet(10_000_000);
+        assert_eq!(seq.events_processed(), base.0);
+        assert_eq!(seq.dropped_dead(), base.4);
+        assert_eq!(seq.apps().map(|a| a.failed).sum::<u64>(), base_failed);
+    }
+
+    #[test]
+    fn keyed_chaos_is_shard_invariant() {
+        use crate::chaos::{Fault, FaultKind};
+        let n = 24;
+        let plan = FaultPlan::none()
+            .with_fault(Fault::new(
+                SimTime::ZERO,
+                SimTime::from_micros(20_000),
+                FaultKind::LossSpike { prob: 0.2 },
+            ))
+            .with_fault(Fault::new(
+                SimTime::ZERO,
+                SimTime::from_micros(20_000),
+                FaultKind::Duplicate { prob: 0.15 },
+            ));
+        let run_k = |k: usize| {
+            let mut sim = ShardedSim::new(two_zone(n, 500), 9, k, |_| Pong {
+                n,
+                rounds: 30,
+                recvd: 0,
+                failed: 0,
+            })
+            .unwrap();
+            sim.apply_plan(&plan, 11);
+            sim.run_to_quiescence();
+            let stats = sim.chaos_stats();
+            (observables(&sim), stats, sim.dropped_loss())
+        };
+        let base = run_k(1);
+        assert_eq!(base, run_k(2));
+        assert!(base.1.dropped > 0, "loss spike never fired");
+        assert!(base.1.duplicated > 0, "duplication never fired");
+    }
+
+    #[test]
+    fn traces_merge_identically_across_shard_counts() {
+        let n = 16;
+        let trace_k = |k: usize| {
+            let mut sim = ShardedSim::new(two_zone(n, 700), 5, k, |_| Pong {
+                n,
+                rounds: 4,
+                recvd: 0,
+                failed: 0,
+            })
+            .unwrap()
+            .with_tracing();
+            sim.run_to_quiescence();
+            crate::obs::jsonl_trace(&sim.take_trace())
+        };
+        let t1 = trace_k(1);
+        assert_eq!(t1, trace_k(2));
+        assert!(t1.lines().count() > n * 4, "trace is non-trivial");
+    }
+
+    #[test]
+    fn zero_delay_timers_close_the_timestamp() {
+        // A timer armed with zero delay must fire 1 µs later, not at the
+        // same instant (the closed-timestamp rule), at any shard count.
+        struct Zeno {
+            fired: u64,
+        }
+        #[derive(Clone)]
+        struct Nil;
+        impl Payload for Nil {
+            fn size_bytes(&self) -> usize {
+                0
+            }
+        }
+        impl Application for Zeno {
+            type Msg = Nil;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Nil>) {
+                ctx.set_timer(SimDuration::ZERO, 1);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Nil>, _: NodeIdx, _: Nil) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Nil>, _token: u64) {
+                self.fired += 1;
+                if self.fired < 5 {
+                    ctx.set_timer(SimDuration::ZERO, 1);
+                }
+            }
+        }
+        let mut sim = ShardedSim::new(two_zone(4, 100), 1, 2, |_| Zeno { fired: 0 }).unwrap();
+        sim.run_to_quiescence();
+        assert_eq!(sim.now(), SimTime::from_micros(5));
+        assert!(sim.apps().all(|a| a.fired == 5));
+    }
+
+    #[test]
+    fn state_bytes_scale_with_nodes_not_events() {
+        let sim = run_sharded(200, 2);
+        let bytes = sim.state_bytes();
+        assert!(bytes > 0);
+        // Generous sanity ceiling: a few hundred bytes per node.
+        assert!(
+            bytes < 200 * 2_048,
+            "unexpectedly heavy per-node state: {bytes}"
+        );
+    }
+}

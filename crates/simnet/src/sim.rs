@@ -38,6 +38,7 @@
 
 use rand::rngs::StdRng;
 
+use crate::bitset::BitSet;
 use crate::chaos::{ChaosInjector, FaultFilter};
 use crate::obs::{DropReason, MsgMeta, NoopSink, TraceBody, TraceRecord, TraceSink, ROOT_PARENT};
 use crate::queue::{EventKey, EventQueue, WheelQueue};
@@ -136,7 +137,7 @@ pub struct Ctx<'a, M> {
     topology: &'a Topology,
 }
 
-enum Action<M> {
+pub(crate) enum Action<M> {
     Send {
         to: NodeIdx,
         msg: M,
@@ -152,7 +153,26 @@ enum Action<M> {
     },
 }
 
-impl<M> Ctx<'_, M> {
+impl<'a, M> Ctx<'a, M> {
+    /// Assembles a context for one callback invocation. Crate-internal:
+    /// the sharded engine ([`crate::shard`]) builds contexts over its own
+    /// per-shard action buffers and RNG streams.
+    pub(crate) fn scoped(
+        now: SimTime,
+        me: NodeIdx,
+        actions: &'a mut Vec<Action<M>>,
+        rng: &'a mut StdRng,
+        topology: &'a Topology,
+    ) -> Self {
+        Ctx {
+            now,
+            me,
+            actions,
+            rng,
+            topology,
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -203,7 +223,7 @@ impl<M> Ctx<'_, M> {
 }
 
 #[derive(Debug)]
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Start,
     Deliver { src: NodeIdx, msg: M },
     SendFailed { peer: NodeIdx },
@@ -214,9 +234,9 @@ enum EventKind<M> {
 
 /// A pending event's payload, parked in the slab while its key moves
 /// through the event queue.
-struct PendingEvent<M> {
-    node: NodeIdx,
-    kind: EventKind<M>,
+pub(crate) struct PendingEvent<M> {
+    pub(crate) node: NodeIdx,
+    pub(crate) kind: EventKind<M>,
 }
 
 /// Free-list slab holding the payloads of queued events.
@@ -224,20 +244,27 @@ struct PendingEvent<M> {
 /// Slots freed by dispatched events are recycled before the backing vector
 /// grows, so a simulation whose in-flight event population has peaked stops
 /// allocating on the event path altogether.
-struct EventSlab<M> {
+pub(crate) struct EventSlab<M> {
     slots: Vec<Option<PendingEvent<M>>>,
     free: Vec<u32>,
 }
 
 impl<M> EventSlab<M> {
-    fn with_capacity(cap: usize) -> Self {
+    pub(crate) fn with_capacity(cap: usize) -> Self {
         EventSlab {
             slots: Vec::with_capacity(cap),
             free: Vec::new(),
         }
     }
 
-    fn insert(&mut self, ev: PendingEvent<M>) -> u32 {
+    /// Heap bytes currently reserved by the slab (capacity-based, for
+    /// memory accounting in million-node trials).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Option<PendingEvent<M>>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+
+    pub(crate) fn insert(&mut self, ev: PendingEvent<M>) -> u32 {
         match self.free.pop() {
             Some(slot) => {
                 debug_assert!(self.slots[slot as usize].is_none());
@@ -253,7 +280,7 @@ impl<M> EventSlab<M> {
         }
     }
 
-    fn take(&mut self, slot: u32) -> PendingEvent<M> {
+    pub(crate) fn take(&mut self, slot: u32) -> PendingEvent<M> {
         let ev = self.slots[slot as usize]
             .take()
             .expect("queue entry references an empty slot");
@@ -264,7 +291,7 @@ impl<M> EventSlab<M> {
     /// Inspects a queued event without removing it — used by the batch
     /// collector to decide whether the queue head extends the current
     /// `(time, destination)` batch before committing to the pop.
-    fn peek(&self, slot: u32) -> &PendingEvent<M> {
+    pub(crate) fn peek(&self, slot: u32) -> &PendingEvent<M> {
         self.slots[slot as usize]
             .as_ref()
             .expect("queue entry references an empty slot")
@@ -312,7 +339,9 @@ impl ComputeLedger {
 /// explicitly.
 pub struct Simulator<A: Application, S: TraceSink = NoopSink, Q: EventQueue = WheelQueue> {
     nodes: Vec<A>,
-    alive: Vec<bool>,
+    // Liveness packed one bit per node (1 MB -> 125 KB at a million
+    // nodes); see `crate::bitset`.
+    alive: BitSet,
     topology: Topology,
     queue: Q,
     slab: EventSlab<A::Msg>,
@@ -383,14 +412,21 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
         // reserving that up front avoids the early doubling cascade.
         let event_cap = n.saturating_mul(4).max(64);
         let mut sim = Simulator {
-            alive: vec![true; n],
+            alive: BitSet::filled(n, true),
             nodes,
             queue: Q::with_capacity(event_cap),
             slab: EventSlab::with_capacity(event_cap),
             now: SimTime::ZERO,
             seq: 0,
             msg_seq: 1,
-            meta_slots: Vec::new(),
+            // Sized to the slab's reservation when tracing is on, so the
+            // side table never doubles mid-run; untraced builds keep it
+            // empty forever and pay no per-node meta cost.
+            meta_slots: if S::ENABLED {
+                Vec::with_capacity(event_cap)
+            } else {
+                Vec::new()
+            },
             rng: sub_rng(seed, "simulator"),
             traffic: TrafficLedger::new(n),
             compute: ComputeLedger::new(n),
@@ -473,7 +509,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
 
     /// Whether node `i` is currently up.
     pub fn alive(&self, i: NodeIdx) -> bool {
-        self.alive[i]
+        self.alive.get(i)
     }
 
     /// The traffic ledger.
@@ -545,7 +581,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
         i: NodeIdx,
         f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>) -> R,
     ) -> Option<R> {
-        if !self.alive[i] {
+        if !self.alive.get(i) {
             return None;
         }
         debug_assert!(self.scratch.is_empty());
@@ -710,7 +746,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
         debug_assert!(time >= self.now, "time went backwards");
         self.now = time;
         self.events_processed += batch.len() as u64;
-        if self.alive[node] {
+        if self.alive.get(node) {
             // Flattened ledger bookkeeping: one read-modify-write of the
             // destination's traffic counters per batch, not per message.
             let mut recv_msgs = 0u64;
@@ -834,7 +870,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
             match &kind {
                 EventKind::Deliver { src, msg } => {
                     let (layer, mkind) = tag(msg);
-                    let body = if self.alive[node] {
+                    let body = if self.alive.get(node) {
                         cause = meta;
                         TraceBody::Deliver {
                             from: *src,
@@ -849,7 +885,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
                             meta,
                         }
                     };
-                    let about = if self.alive[node] { node } else { *src };
+                    let about = if self.alive.get(node) { node } else { *src };
                     self.sink.record(TraceRecord {
                         at_us: self.now.as_micros(),
                         node: about,
@@ -859,7 +895,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
                     });
                 }
                 EventKind::Timer { token } => {
-                    if self.alive[node] {
+                    if self.alive.get(node) {
                         self.sink.record(TraceRecord {
                             at_us: self.now.as_micros(),
                             node,
@@ -870,7 +906,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
                     }
                 }
                 EventKind::Down => {
-                    if self.alive[node] {
+                    if self.alive.get(node) {
                         self.sink.record(TraceRecord {
                             at_us: self.now.as_micros(),
                             node,
@@ -881,7 +917,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
                     }
                 }
                 EventKind::Up => {
-                    if !self.alive[node] {
+                    if !self.alive.get(node) {
                         self.sink.record(TraceRecord {
                             at_us: self.now.as_micros(),
                             node,
@@ -906,12 +942,12 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
             };
             match kind {
                 EventKind::Start => {
-                    if self.alive[node] {
+                    if self.alive.get(node) {
                         self.nodes[node].on_start(&mut ctx);
                     }
                 }
                 EventKind::Deliver { src, msg } => {
-                    if self.alive[node] {
+                    if self.alive.get(node) {
                         self.traffic.record_recv(node, msg.size_bytes());
                         self.nodes[node].on_message(&mut ctx, src, msg);
                     } else {
@@ -920,24 +956,24 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
                     }
                 }
                 EventKind::SendFailed { peer } => {
-                    if self.alive[node] {
+                    if self.alive.get(node) {
                         self.nodes[node].on_send_failed(&mut ctx, peer);
                     }
                 }
                 EventKind::Timer { token } => {
-                    if self.alive[node] {
+                    if self.alive.get(node) {
                         self.nodes[node].on_timer(&mut ctx, token);
                     }
                 }
                 EventKind::Down => {
-                    if self.alive[node] {
-                        self.alive[node] = false;
+                    if self.alive.get(node) {
+                        self.alive.set(node, false);
                         self.nodes[node].on_down();
                     }
                 }
                 EventKind::Up => {
-                    if !self.alive[node] {
-                        self.alive[node] = true;
+                    if !self.alive.get(node) {
+                        self.alive.set(node, true);
                         self.nodes[node].on_up(&mut ctx);
                     }
                 }

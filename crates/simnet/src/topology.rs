@@ -229,6 +229,108 @@ impl Topology {
     pub fn sample_loss(&self, rng: &mut StdRng) -> bool {
         self.loss_prob > 0.0 && rng.gen::<f64>() < self.loss_prob
     }
+
+    /// Whether [`Topology::sample_delay`] and [`Topology::sample_loss`] are
+    /// pure functions that never touch the RNG stream.
+    ///
+    /// True when jitter is zero, loss is zero, and the latency model has no
+    /// stochastic component (`Geo`, or `Uniform` with `min == max`). The
+    /// sharded engine ([`crate::shard`]) requires this: per-shard execution
+    /// cannot reproduce a single global RNG stream consumed in dispatch
+    /// order, so delays must not depend on one.
+    pub fn delay_is_deterministic(&self) -> bool {
+        let model_fixed = match self.latency {
+            LatencyModel::Geo { .. } => true,
+            LatencyModel::Uniform { min_us, max_us } => min_us >= max_us,
+        };
+        model_fixed && self.jitter == 0.0 && self.loss_prob == 0.0
+    }
+
+    /// Heap bytes held by the topology's per-node tables (positions,
+    /// regions, profiles) — memory accounting for million-node trials.
+    pub fn heap_bytes(&self) -> usize {
+        self.points.capacity() * std::mem::size_of::<GeoPoint>()
+            + self.regions.capacity() * std::mem::size_of::<u16>()
+            + self.profiles.capacity() * std::mem::size_of::<NodeProfile>()
+    }
+
+    /// Number of region ids in use (`max(region) + 1`, 0 when empty).
+    pub fn num_regions(&self) -> usize {
+        self.regions
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1)
+    }
+
+    /// A lower bound, in simulated time, on the one-way delay of *any*
+    /// message between nodes in different regions — the conservative
+    /// lookahead used by the sharded engine to size its synchronization
+    /// windows.
+    ///
+    /// Returns `None` when fewer than two regions are populated (no
+    /// inter-region message can exist, so no bound is needed).
+    ///
+    /// The bound is safe because every term added on top of propagation
+    /// only increases delay: the jitter factor is `>= 1`, straggler
+    /// chaos factors are `>= 1`, transmission time is `>= 0`, and
+    /// caller-supplied `extra` delays are `>= 0`. For `Geo` the
+    /// inter-node distance is bounded below per region pair by
+    /// `center_distance - radius_a - radius_b` over per-region bounding
+    /// circles computed from the actual node positions (triangle
+    /// inequality), and the result is floored so rounding in
+    /// [`Topology::sample_delay`] can never undercut it.
+    pub fn min_inter_region_delay(&self) -> Option<SimDuration> {
+        let nregions = self.num_regions();
+        let mut count = vec![0u64; nregions];
+        let mut sum_x = vec![0f64; nregions];
+        let mut sum_y = vec![0f64; nregions];
+        for (p, &r) in self.points.iter().zip(&self.regions) {
+            count[r as usize] += 1;
+            sum_x[r as usize] += p.x_km;
+            sum_y[r as usize] += p.y_km;
+        }
+        if count.iter().filter(|&&c| c > 0).count() < 2 {
+            return None;
+        }
+        match self.latency {
+            LatencyModel::Uniform { min_us, .. } => Some(SimDuration::from_micros(min_us)),
+            LatencyModel::Geo { base_us, per_km_us } => {
+                let centers: Vec<GeoPoint> = (0..nregions)
+                    .map(|r| {
+                        let c = count[r].max(1) as f64;
+                        GeoPoint::new(sum_x[r] / c, sum_y[r] / c)
+                    })
+                    .collect();
+                let mut radius = vec![0f64; nregions];
+                for (p, &r) in self.points.iter().zip(&self.regions) {
+                    let d = p.distance_km(&centers[r as usize]);
+                    if d > radius[r as usize] {
+                        radius[r as usize] = d;
+                    }
+                }
+                let mut lb_km = f64::INFINITY;
+                for a in 0..nregions {
+                    if count[a] == 0 {
+                        continue;
+                    }
+                    for b in (a + 1)..nregions {
+                        if count[b] == 0 {
+                            continue;
+                        }
+                        let gap =
+                            (centers[a].distance_km(&centers[b]) - radius[a] - radius[b]).max(0.0);
+                        if gap < lb_km {
+                            lb_km = gap;
+                        }
+                    }
+                }
+                Some(SimDuration::from_micros(
+                    (base_us as f64 + lb_km * per_km_us.max(0.0)).floor() as u64,
+                ))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -359,6 +461,66 @@ mod tests {
         assert_eq!(d.as_micros(), (prop * factor).round() as u64);
         // And the streams are in lockstep afterwards.
         assert_eq!(rng.gen::<u64>(), shadow.gen::<u64>());
+    }
+
+    #[test]
+    fn determinism_predicate_matches_rng_usage() {
+        assert!(Topology::uniform(4, 700, 700).delay_is_deterministic());
+        assert!(!Topology::uniform(4, 100, 200).delay_is_deterministic());
+        assert!(!Topology::uniform(4, 1, 1)
+            .with_loss(0.1)
+            .delay_is_deterministic());
+        assert!(geo_topology(20).with_jitter(0.0).delay_is_deterministic());
+        assert!(!geo_topology(20).delay_is_deterministic()); // default jitter 0.2
+    }
+
+    #[test]
+    fn uniform_lookahead_is_min_latency() {
+        // `uniform` puts every node in region 0 — no inter-region pairs.
+        assert_eq!(
+            Topology::uniform(8, 300, 300).min_inter_region_delay(),
+            None
+        );
+        // Two hand-placed regions: bound is exactly min_us.
+        let t = Topology::from_parts(
+            vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(9.0, 0.0)],
+            vec![0, 1],
+            vec![NodeProfile::default(); 2],
+            LatencyModel::Uniform {
+                min_us: 250,
+                max_us: 900,
+            },
+        );
+        assert_eq!(
+            t.min_inter_region_delay(),
+            Some(SimDuration::from_micros(250))
+        );
+    }
+
+    #[test]
+    fn geo_lookahead_never_exceeds_any_inter_region_delay() {
+        let t = geo_topology(200).with_jitter(0.0);
+        let lb = t
+            .min_inter_region_delay()
+            .expect("EUA topology has many regions")
+            .as_micros();
+        assert!(lb >= 500, "bound includes the 500us base");
+        let mut rng = sub_rng(31, "lb-check");
+        for a in 0..t.len() {
+            for b in 0..t.len() {
+                if a != b && t.region(a) != t.region(b) {
+                    let d = t.sample_delay(a, b, 0, &mut rng).as_micros();
+                    assert!(lb <= d, "lookahead {lb} > sampled inter-region delay {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn num_regions_counts_max_plus_one() {
+        assert_eq!(Topology::uniform(3, 1, 1).num_regions(), 1);
+        let t = geo_topology(300);
+        assert_eq!(t.num_regions(), 12, "EUA geography has 12 regions");
     }
 
     #[test]
