@@ -1,0 +1,253 @@
+//! `totoro-mc`: the bounded model checker for small overlay configurations.
+//!
+//! Exhaustively explores pending-event reorderings and bounded fault
+//! injections (message drop/duplication, node crash/revive) over the
+//! scenarios registered in `totoro_bench::mc`, checking the protocol
+//! invariant oracles at every quiescent end state. On a violation it
+//! prints the minimized replay schedule plus the causal spans behind it
+//! (PR-4 trace machinery) and exits non-zero.
+//!
+//! ```text
+//! totoro-mc --list
+//! totoro-mc --scenario join-leave-4
+//! totoro-mc --scenario forest-repair-4 --depth 6 --fault-budget 1
+//! totoro-mc --scenario forest-repair-4 --replay ce.txt
+//! totoro-mc --scenario join-leave-4 --out ce.txt
+//! ```
+//!
+//! With no `--scenario`, every registered scenario is checked in order.
+//! `--out PATH` writes the minimized counterexample schedule (replayable
+//! with `--replay`) when a violation is found; CI uploads it as an
+//! artifact. Seeded protocol bugs are compiled in with
+//! `--features mc-bugs` (see DESIGN.md §14).
+
+use std::process::ExitCode;
+
+use totoro_bench::mc::{by_name, registry, McScenario};
+use totoro_bench::{logging, report};
+use totoro_mc::Choice;
+
+struct Cli {
+    scenario: Option<String>,
+    replay: Option<String>,
+    out: Option<String>,
+    depth: Option<usize>,
+    fault_budget: Option<usize>,
+    max_states: Option<u64>,
+    window: Option<usize>,
+    list: bool,
+    quiet: bool,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    logging::info(format_args!(
+        "usage: totoro-mc [--scenario NAME] [--replay FILE] [--out FILE]\n\
+         \x20                [--depth N] [--fault-budget N] [--max-states N] [--window N]\n\
+         \x20                [--list] [--quiet] [--verbose]\n\
+         scenarios: {}",
+        registry()
+            .iter()
+            .map(|s| s.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    std::process::exit(2);
+}
+
+fn parse_num(v: &str, flag: &str) -> u64 {
+    match v.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            logging::error(format_args!("{flag} expects an integer, got {v:?}"));
+            usage();
+        }
+    }
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        scenario: None,
+        replay: None,
+        out: None,
+        depth: None,
+        fault_budget: None,
+        max_states: None,
+        window: None,
+        list: false,
+        quiet: false,
+        verbose: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => {
+                    logging::error(format_args!("flag {flag} expects a value"));
+                    usage();
+                }
+            }
+        };
+        match arg.as_str() {
+            "--scenario" => cli.scenario = Some(value("--scenario")),
+            "--replay" => cli.replay = Some(value("--replay")),
+            "--out" => cli.out = Some(value("--out")),
+            "--depth" => cli.depth = Some(parse_num(&value("--depth"), "--depth") as usize),
+            "--fault-budget" => {
+                cli.fault_budget =
+                    Some(parse_num(&value("--fault-budget"), "--fault-budget") as usize)
+            }
+            "--max-states" => {
+                cli.max_states = Some(parse_num(&value("--max-states"), "--max-states"))
+            }
+            "--window" => cli.window = Some(parse_num(&value("--window"), "--window") as usize),
+            "--list" => cli.list = true,
+            "--quiet" => cli.quiet = true,
+            "--verbose" => cli.verbose = true,
+            "--help" | "-h" => usage(),
+            other => {
+                logging::error(format_args!("unknown argument {other:?}"));
+                usage();
+            }
+        }
+    }
+    if cli.replay.is_some() && cli.scenario.is_none() {
+        logging::error("--replay needs --scenario (schedules are scenario-relative)");
+        usage();
+    }
+    cli
+}
+
+/// Applies the CLI's bound overrides to a scenario.
+fn with_overrides(mut s: McScenario, cli: &Cli) -> McScenario {
+    if let Some(d) = cli.depth {
+        s.mc.max_depth = d;
+    }
+    if let Some(f) = cli.fault_budget {
+        s.mc.fault_budget = f;
+    }
+    if let Some(m) = cli.max_states {
+        s.mc.max_states = m;
+    }
+    if let Some(w) = cli.window {
+        s.mc.reorder_window = w;
+    }
+    s
+}
+
+/// Replays a schedule file against a scenario, printing the full span
+/// rendering. Exit mirrors the verdict: violation → failure.
+fn replay(scenario: &McScenario, path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            logging::error(format_args!("cannot read schedule {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(schedule) = Choice::parse_schedule(&text) else {
+        logging::error(format_args!("malformed schedule in {path}"));
+        return ExitCode::FAILURE;
+    };
+    let violated = scenario.violation_of(&schedule).is_some();
+    for line in scenario.render_counterexample(&schedule) {
+        report::emitln(line);
+    }
+    if violated {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Explores one scenario; returns whether a violation was found.
+fn explore(scenario: &McScenario, out: Option<&str>) -> bool {
+    report::emitln(format_args!(
+        "checking {}: nodes={} depth={} fault-budget={} window={} max-states={}",
+        scenario.name,
+        scenario.nodes,
+        scenario.mc.max_depth,
+        scenario.mc.fault_budget,
+        scenario.mc.reorder_window,
+        scenario.mc.max_states
+    ));
+    let result = scenario.explore();
+    report::emitln(format_args!(
+        "  states: visited={} deduped={} pruned={} discarded={}{}",
+        result.stats.visited,
+        result.stats.deduped,
+        result.stats.pruned,
+        result.stats.discarded,
+        if result.stats.truncated {
+            " (truncated by state budget)"
+        } else {
+            ""
+        }
+    ));
+    let Some(v) = result.violation else {
+        report::emitln("  no violations");
+        return false;
+    };
+    report::emitln(format_args!("  VIOLATION: {}", v.detail));
+    report::emitln(format_args!(
+        "  minimal schedule ({} choices):",
+        v.schedule.len()
+    ));
+    for line in Choice::render_schedule(&v.schedule).lines() {
+        report::emitln(format_args!("    {line}"));
+    }
+    for line in scenario.render_counterexample(&v.schedule) {
+        report::emitln(format_args!("  {line}"));
+    }
+    if let Some(path) = out {
+        let text = format!(
+            "# totoro-mc counterexample: scenario {} — {}\n{}",
+            scenario.name,
+            v.detail,
+            Choice::render_schedule(&v.schedule)
+        );
+        match std::fs::write(path, text) {
+            Ok(()) => logging::info(format_args!("wrote counterexample schedule to {path}")),
+            Err(e) => logging::error(format_args!("cannot write {path}: {e}")),
+        }
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args);
+    logging::set_level(logging::level_from_flags(cli.quiet, cli.verbose));
+    if cli.list {
+        for s in registry() {
+            report::emitln(format_args!("{}: {}", s.name, s.about));
+        }
+        return ExitCode::SUCCESS;
+    }
+    let scenarios: Vec<McScenario> = match &cli.scenario {
+        Some(name) => match by_name(name) {
+            Some(s) => vec![with_overrides(s, &cli)],
+            None => {
+                logging::error(format_args!("unknown scenario {name:?}"));
+                usage();
+            }
+        },
+        None => registry()
+            .into_iter()
+            .map(|s| with_overrides(s, &cli))
+            .collect(),
+    };
+    if let Some(path) = &cli.replay {
+        return replay(&scenarios[0], path);
+    }
+    let mut violated = false;
+    for s in &scenarios {
+        violated |= explore(s, cli.out.as_deref());
+    }
+    if violated {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -566,7 +566,11 @@ impl<S: TraceSink> Invariant<ForestNode<EchoApp>, S> for RendezvousUnique {
 /// Walks `i`'s parent chain for `t`; `Ok(true)` when it reaches a live
 /// root, `Ok(false)` when it dangles (detached or dead parent), `Err` on a
 /// cycle or overlong chain.
-fn chain_reaches_root<S: TraceSink>(sim: &EchoSim<S>, t: Id, i: NodeIdx) -> Result<bool, String> {
+pub(crate) fn chain_reaches_root<S: TraceSink>(
+    sim: &EchoSim<S>,
+    t: Id,
+    i: NodeIdx,
+) -> Result<bool, String> {
     let mut cur = i;
     for _ in 0..=sim.len() {
         if !sim.alive(cur) {
@@ -657,7 +661,7 @@ impl<S: TraceSink> Invariant<ForestNode<EchoApp>, S> for ForestStructure {
 
 /// Full subscriber coverage: every live subscriber's parent chain reaches a
 /// live root. `Err` carries the first uncovered node.
-fn coverage<S: TraceSink>(sim: &EchoSim<S>, topics: &[Id]) -> Result<(), String> {
+pub(crate) fn coverage<S: TraceSink>(sim: &EchoSim<S>, topics: &[Id]) -> Result<(), String> {
     for &t in topics {
         for i in 0..sim.len() {
             if !sim.alive(i) {

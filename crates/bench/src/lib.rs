@@ -30,6 +30,7 @@
 
 pub mod chaos;
 pub mod logging;
+pub mod mc;
 pub mod report;
 pub mod scenario;
 pub mod scenarios;

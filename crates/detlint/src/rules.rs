@@ -20,6 +20,7 @@ pub const PROTOCOL_CRATES: &[&str] = &[
     "baselines",
     "bandit",
     "ml",
+    "mc",
 ];
 
 /// Crates where ambient entropy (wall clocks, OS RNG, environment) is
@@ -32,6 +33,7 @@ pub const ENTROPY_CRATES: &[&str] = &[
     "baselines",
     "bandit",
     "ml",
+    "mc",
     "bench",
 ];
 

@@ -530,6 +530,10 @@ impl<F: ForestApp> Forest<F> {
         let cap = self.config.fanout_cap;
         let me = me_contact(dht);
         let m = self.state.tree_mut(topic, now);
+        // With the `mc-bugs` validation feature the guard is compiled out,
+        // reintroducing the pre-fix parent-cycle bug for the model checker
+        // to rediscover (seeded bug FOREST-CYCLE).
+        #[cfg(not(feature = "mc-bugs"))]
         if m.parent.map(|p| p.addr) == Some(child.addr) {
             // Never adopt our own parent: that would turn the tree edge
             // into a two-node loop the instant the JoinAck lands. The
@@ -917,6 +921,7 @@ impl<F: ForestApp> Forest<F> {
         let mut to_repair = Vec::new();
         let mut to_replan = Vec::new();
         let mut to_rejoin = Vec::new();
+        #[cfg_attr(feature = "mc-bugs", allow(unused_mut))]
         let mut to_break = Vec::new();
         for (&topic, m) in self.state.trees.iter_mut() {
             // Keep-alive toward children.
@@ -960,6 +965,10 @@ impl<F: ForestApp> Forest<F> {
             // chases itself around the ring, so depth inflates by one per
             // tick without bound. `u16::MAX` is exempt — that is the
             // legitimate "unknown" sentinel a detached ancestor propagates.
+            // Compiled out under `mc-bugs` along with the adopt-own-parent
+            // guard, so a formed loop persists for the model checker's
+            // structure oracle to flag (seeded bug FOREST-CYCLE).
+            #[cfg(not(feature = "mc-bugs"))]
             if max_depth > 0
                 && !m.is_root
                 && m.parent.is_some()
@@ -968,6 +977,8 @@ impl<F: ForestApp> Forest<F> {
             {
                 to_break.push(topic);
             }
+            #[cfg(feature = "mc-bugs")]
+            let _ = max_depth;
         }
         for topic in to_repair {
             self.begin_repair(dht, topic);
@@ -1229,10 +1240,17 @@ impl<F: ForestApp> UpperLayer for Forest<F> {
         // means the pending timer was swallowed during the outage and the
         // chain is dead. Only then re-arm (re-arming a live chain would
         // double every heartbeat from here on).
+        //
+        // Under `mc-bugs` the re-arm is compiled out, reintroducing the
+        // pre-fix maintenance zombie: a revived node stays up but its tick
+        // chain is dead forever (seeded bug MAINT-ZOMBIE).
+        #[cfg(not(feature = "mc-bugs"))]
         if self.started && api.now().saturating_since(self.last_tick) > self.config.tick {
             self.last_tick = api.now();
             api.set_timer(self.config.tick, 0);
         }
+        #[cfg(feature = "mc-bugs")]
+        let _ = api;
     }
 
     fn on_peer_failed(&mut self, api: &mut DhtApi<'_, '_, Self::P>, addr: NodeIdx) {

@@ -52,7 +52,7 @@ pub use payload::Shared;
 pub use queue::{EventKey, EventQueue, HeapQueue, WheelQueue};
 pub use rng::{derive_seed, keyed_unit, sub_rng};
 pub use shard::{ShardError, ShardPlan, ShardedSim};
-pub use sim::{Application, ComputeKind, Ctx, Payload, Simulator};
+pub use sim::{Application, ComputeKind, Ctx, Payload, PendingClass, PendingSummary, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LatencyModel, NodeIdx, NodeProfile, Topology, BASE_EDGE_FLOPS};
 pub use traffic::{TrafficLedger, TrafficTotals};

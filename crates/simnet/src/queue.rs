@@ -127,6 +127,16 @@ pub trait EventQueue: sealed::Sealed {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Every queued `(key, slot)` pair in ascending key order, without
+    /// removing anything. `O(n log n)` — an exploration hook for the
+    /// bounded model checker, never called on the hot dispatch path.
+    fn snapshot(&mut self) -> Vec<(EventKey, u32)>;
+
+    /// Removes the entry queued under exactly `key` (keys are unique —
+    /// `seq` is a per-simulator monotone counter) and returns its slot.
+    /// `O(n)` worst case; exploration hook only.
+    fn remove(&mut self, key: EventKey) -> Option<u32>;
 }
 
 // ------------------------------------------------------------------ heap --
@@ -167,6 +177,26 @@ impl EventQueue for HeapQueue {
 
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn snapshot(&mut self) -> Vec<(EventKey, u32)> {
+        let mut out: Vec<(EventKey, u32)> =
+            self.heap.iter().map(|Reverse(e)| (e.key, e.slot)).collect();
+        out.sort_unstable_by_key(|(k, _)| k.packed());
+        out
+    }
+
+    fn remove(&mut self, key: EventKey) -> Option<u32> {
+        let mut slot = None;
+        self.heap.retain(|Reverse(e)| {
+            if e.key == key {
+                slot = Some(e.slot);
+                false
+            } else {
+                true
+            }
+        });
+        slot
     }
 }
 
@@ -410,6 +440,57 @@ impl EventQueue for WheelQueue {
     fn len(&self) -> usize {
         self.len
     }
+
+    fn snapshot(&mut self) -> Vec<(EventKey, u32)> {
+        let mut out = Vec::with_capacity(self.len);
+        out.extend(self.drain[self.drain_pos..].iter().map(|e| (e.key, e.slot)));
+        for bucket in &self.slots {
+            out.extend(bucket.iter().map(|e| (e.key, e.slot)));
+        }
+        out.extend(self.overflow.iter().map(|Reverse(e)| (e.key, e.slot)));
+        out.sort_unstable_by_key(|(k, _)| k.packed());
+        out
+    }
+
+    fn remove(&mut self, key: EventKey) -> Option<u32> {
+        // The three bands are disjoint by tick: drained/late entries sit
+        // below `base_tick`, bucketed entries inside the window, spilled
+        // entries at or beyond its end — so each band is probed at most
+        // once. The drain tail is sorted by key, so probe it by binary
+        // search first (it also covers the in-window tick that was just
+        // swapped out by `settle`).
+        let tail = &self.drain[self.drain_pos..];
+        if let Ok(i) = tail.binary_search_by(|e| e.key.cmp(&key)) {
+            let e = self.drain.remove(self.drain_pos + i);
+            self.len -= 1;
+            return Some(e.slot);
+        }
+        let tick = tick_of(key.time);
+        if tick < self.window_end() {
+            let idx = (tick % NUM_SLOTS as u64) as usize;
+            let pos = self.slots[idx].iter().position(|e| e.key == key)?;
+            let e = self.slots[idx].swap_remove(pos);
+            if self.slots[idx].is_empty() {
+                self.occ[idx / 64] &= !(1u64 << (idx % 64));
+            }
+            self.wheel_len -= 1;
+            self.len -= 1;
+            return Some(e.slot);
+        }
+        let mut slot = None;
+        self.overflow.retain(|Reverse(e)| {
+            if e.key == key {
+                slot = Some(e.slot);
+                false
+            } else {
+                true
+            }
+        });
+        if slot.is_some() {
+            self.len -= 1;
+        }
+        slot
+    }
 }
 
 #[cfg(test)]
@@ -539,6 +620,90 @@ mod tests {
             now = hk.time.as_micros();
         }
         assert!(heap.is_empty() && wheel.is_empty());
+    }
+
+    #[test]
+    fn pop_before_at_window_wrap_boundary() {
+        // Events straddling the wheel window end: the last in-window µs,
+        // the first out-of-window µs (overflow band), and deep overflow.
+        // `pop_before` must honour deadlines across the wrap and the
+        // overflow migration that `settle` performs at the boundary.
+        let span = (NUM_SLOTS as u64) << GRANULARITY_SHIFT;
+        let mut wheel = WheelQueue::with_capacity(4);
+        wheel.push(key(span - 1, 0), 0);
+        wheel.push(key(span, 1), 1);
+        wheel.push(key(2 * span + 5, 2), 2);
+        assert_eq!(wheel.pop_before(SimTime::from_micros(span - 2)), None);
+        assert_eq!(
+            wheel.pop_before(SimTime::from_micros(span - 1)),
+            Some((key(span - 1, 0), 0))
+        );
+        // The overflow head migrates into the advanced window but is not
+        // yet due at the old deadline.
+        assert_eq!(wheel.pop_before(SimTime::from_micros(span - 1)), None);
+        assert_eq!(
+            wheel.pop_before(SimTime::from_micros(span)),
+            Some((key(span, 1), 1))
+        );
+        assert_eq!(wheel.pop_before(SimTime::from_micros(2 * span)), None);
+        assert_eq!(
+            wheel.pop_before(SimTime::MAX),
+            Some((key(2 * span + 5, 2), 2))
+        );
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn pop_before_across_many_window_wraps() {
+        // A re-arming timer driven purely through `pop_before`, with a
+        // stride chosen so `base_tick % NUM_SLOTS` cycles through the whole
+        // occupancy bitmap (crossing word boundaries) over the run.
+        let mut heap = HeapQueue::with_capacity(4);
+        let mut wheel = WheelQueue::with_capacity(4);
+        let stride = ((NUM_SLOTS as u64) << GRANULARITY_SHIFT) / 3 + 61;
+        let mut now = 0u64;
+        for round in 0..2_000u64 {
+            heap.push(key(now + stride, round), round as u32);
+            wheel.push(key(now + stride, round), round as u32);
+            let early = SimTime::from_micros(now + stride - 1);
+            assert_eq!(wheel.pop_before(early), None, "early pop at {round}");
+            let h = heap.pop_before(SimTime::from_micros(now + stride));
+            let w = wheel.pop_before(SimTime::from_micros(now + stride));
+            assert_eq!(h, w, "diverged at round {round}");
+            now = h.expect("event was due").0.time.as_micros();
+        }
+        assert!(heap.is_empty() && wheel.is_empty());
+    }
+
+    #[test]
+    fn snapshot_and_remove_agree_across_bands() {
+        let span = (NUM_SLOTS as u64) << GRANULARITY_SHIFT;
+        let mut heap = HeapQueue::with_capacity(4);
+        let mut wheel = WheelQueue::with_capacity(4);
+        let pushes = [
+            (10, 0, 0),
+            (40, 1, 1),
+            (span - 1, 2, 2),
+            (span + 3, 3, 3),
+            (3 * span, 4, 4),
+        ];
+        for &(us, seq, slot) in &pushes {
+            heap.push(key(us, seq), slot);
+            wheel.push(key(us, seq), slot);
+        }
+        // Pop one to open the drain band, then land a late push in it.
+        assert_eq!(heap.pop(), wheel.pop());
+        heap.push(key(12, 5), 5);
+        wheel.push(key(12, 5), 5);
+        assert_eq!(heap.snapshot(), wheel.snapshot());
+        // Remove from each band — drain tail, bucket, overflow — plus a
+        // miss; lengths and snapshots must stay in lockstep.
+        for k in [key(12, 5), key(span - 1, 2), key(3 * span, 4), key(999, 9)] {
+            assert_eq!(heap.remove(k), wheel.remove(k), "removing {k:?}");
+            assert_eq!(heap.len(), wheel.len());
+        }
+        assert_eq!(heap.snapshot(), wheel.snapshot());
+        assert_eq!(drain_all(&mut heap), drain_all(&mut wheel));
     }
 
     #[test]

@@ -1124,6 +1124,67 @@ mod tests {
         .with_jitter(0.0)
     }
 
+    /// Like [`two_zone`] but with an arbitrary region-size profile:
+    /// `counts[r]` nodes in region `r`, laid out contiguously.
+    fn many_zones(counts: &[usize], latency_us: u64) -> Topology {
+        let n: usize = counts.iter().sum();
+        let mut regions = Vec::with_capacity(n);
+        for (r, &c) in counts.iter().enumerate() {
+            regions.extend(std::iter::repeat_n(r as u16, c));
+        }
+        Topology::from_parts(
+            vec![GeoPoint::new(0.0, 0.0); n],
+            regions,
+            vec![NodeProfile::default(); n],
+            LatencyModel::Uniform {
+                min_us: latency_us,
+                max_us: latency_us,
+            },
+        )
+        .with_jitter(0.0)
+    }
+
+    #[test]
+    fn packs_more_regions_than_shards_greedily() {
+        // Five regions of uneven size onto fewer shards: whole regions stay
+        // together and the greedy biggest-first/lightest-shard packing is a
+        // pure function of the topology. Region r starts at node
+        // `first[r]`: sizes 7/1/4/2/5.
+        let topo = many_zones(&[7, 1, 4, 2, 5], 300);
+        let first = [0usize, 7, 8, 12, 14];
+        let plan = ShardPlan::new(&topo, 2).unwrap();
+        assert_eq!(plan.shards(), 2);
+        // Whole regions never split across shards.
+        for i in 0..topo.len() {
+            assert_eq!(
+                plan.shard_of(i),
+                plan.shard_of(first[topo.region(i) as usize]),
+                "region of node {i} split"
+            );
+        }
+        // Greedy order (size desc, region id tie-break): r0(7)→s0,
+        // r4(5)→s1, r2(4)→s1 (=9), r3(2)→s0 (=9), r1(1)→s0 (=10).
+        let rs: Vec<usize> = first.iter().map(|&i| plan.shard_of(i)).collect();
+        assert_eq!(rs, [0, 0, 1, 0, 1]);
+        assert_eq!((plan.shard_len(0), plan.shard_len(1)), (10, 9));
+        assert_eq!(plan.lookahead(), SimDuration::from_micros(300));
+        // Three shards, still fewer than regions: r0→s0, r4→s1, r2→s2,
+        // r3→s2 (=6), r1→s1 (=6).
+        let plan3 = ShardPlan::new(&topo, 3).unwrap();
+        let rs3: Vec<usize> = first.iter().map(|&i| plan3.shard_of(i)).collect();
+        assert_eq!(rs3, [0, 1, 2, 2, 1]);
+        let lens3: Vec<usize> = (0..3).map(|s| plan3.shard_len(s)).collect();
+        assert_eq!(lens3, [7, 6, 6]);
+    }
+
+    #[test]
+    fn empty_regions_do_not_count_toward_the_shard_clamp() {
+        // Region 1 exists in the id space but holds no nodes: only the two
+        // populated regions can host shards.
+        let sparse = many_zones(&[3, 0, 3], 100);
+        assert_eq!(ShardPlan::new(&sparse, 4).unwrap().shards(), 2);
+    }
+
     /// Ping-pong across the zone boundary: node `i` exchanges `rounds`
     /// messages with its mirror `n - 1 - i`.
     struct Pong {

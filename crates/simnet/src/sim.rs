@@ -239,6 +239,56 @@ pub(crate) struct PendingEvent<M> {
     pub(crate) kind: EventKind<M>,
 }
 
+/// Payload-free classification of a queued event, exposed to exploration
+/// tooling ([`Simulator::pending_summaries`]). Mirrors the private
+/// [`EventKind`] without leaking the message type: deliveries carry their
+/// trace tags and wire size instead, which is enough for independence
+/// analysis and schedule rendering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PendingClass {
+    /// The time-zero `on_start` callback.
+    Start,
+    /// A message in flight.
+    Deliver {
+        /// Sending node.
+        src: NodeIdx,
+        /// Protocol-layer tag (normalized, e.g. `"dht"`, `"forest"`).
+        layer: &'static str,
+        /// Message-kind tag (normalized, e.g. `"join"`, `"broadcast"`).
+        kind: &'static str,
+        /// Serialized size in bytes.
+        bytes: usize,
+    },
+    /// A send-failure bounce heading back to the original sender.
+    SendFailed {
+        /// The peer that was down.
+        peer: NodeIdx,
+    },
+    /// An armed timer.
+    Timer {
+        /// The application's timer token.
+        token: u64,
+    },
+    /// A scheduled churn-down transition.
+    Down,
+    /// A scheduled churn-up transition.
+    Up,
+}
+
+/// One queued event as seen by exploration tooling: its total-order key,
+/// destination node, and payload-free class. The key is stable across
+/// deterministic replays of the same prefix, so a recorded key names the
+/// same event when the prefix is re-executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingSummary {
+    /// The `(time, seq)` queue key — unique per event.
+    pub key: EventKey,
+    /// Destination node.
+    pub node: NodeIdx,
+    /// Payload-free event classification.
+    pub class: PendingClass,
+}
+
 /// Free-list slab holding the payloads of queued events.
 ///
 /// Slots freed by dispatched events are recycled before the backing vector
@@ -566,6 +616,116 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
     /// Schedules node `i` to come back up at absolute time `at`.
     pub fn schedule_up(&mut self, i: NodeIdx, at: SimTime) {
         self.enqueue(at, i, EventKind::Up);
+    }
+
+    // ------------------------------------------------- exploration hooks --
+    //
+    // The bounded model checker (`totoro-mc`) drives the simulator off the
+    // normal `(time, seq)` dispatch order: it enumerates the pending set,
+    // picks an arbitrary member to dispatch / drop / duplicate, and replays
+    // recorded choice sequences from scratch to branch the exploration.
+    // These hooks are `O(pending)` and never touched by the hot path.
+
+    /// Every queued event in ascending `(time, seq)` order, summarized
+    /// without exposing message payloads. Takes `&mut self` because lazily
+    /// ordered queues normalize their head on observation.
+    pub fn pending_summaries(&mut self) -> Vec<PendingSummary> {
+        let entries = self.queue.snapshot();
+        entries
+            .into_iter()
+            .map(|(key, slot)| {
+                let ev = self.slab.peek(slot);
+                let class = match &ev.kind {
+                    EventKind::Start => PendingClass::Start,
+                    EventKind::Deliver { src, msg } => {
+                        let (layer, kind) = tag(msg);
+                        PendingClass::Deliver {
+                            src: *src,
+                            layer,
+                            kind,
+                            bytes: msg.size_bytes(),
+                        }
+                    }
+                    EventKind::SendFailed { peer } => PendingClass::SendFailed { peer: *peer },
+                    EventKind::Timer { token } => PendingClass::Timer { token: *token },
+                    EventKind::Down => PendingClass::Down,
+                    EventKind::Up => PendingClass::Up,
+                };
+                PendingSummary {
+                    key,
+                    node: ev.node,
+                    class,
+                }
+            })
+            .collect()
+    }
+
+    /// Dispatches the queued event with exactly `key` *now*, out of queue
+    /// order, returning the simulated time after its callback ran. The
+    /// event executes at `max(now, key.time)` — dispatching ahead of turn
+    /// pulls it forward to the current instant, never backwards. Returns
+    /// `None` if no event is queued under `key`.
+    pub fn dispatch_pending(&mut self, key: EventKey) -> Option<SimTime> {
+        let slot = self.queue.remove(key)?;
+        let (ev, meta) = self.take_event(slot);
+        Some(self.dispatch(key.time.max(self.now), ev, meta))
+    }
+
+    /// Removes the queued *delivery* with exactly `key`, counting it as an
+    /// in-flight drop (a lost message). Returns `false` — leaving the queue
+    /// untouched — when `key` is absent or names a non-Deliver event:
+    /// timers, churn transitions, and bounces cannot be "lost".
+    pub fn drop_pending(&mut self, key: EventKey) -> bool {
+        let Some(slot) = self.queue.remove(key) else {
+            return false;
+        };
+        if !matches!(self.slab.peek(slot).kind, EventKind::Deliver { .. }) {
+            self.queue.push(key, slot);
+            return false;
+        }
+        let (ev, meta) = self.take_event(slot);
+        let EventKind::Deliver { src, msg } = ev.kind else {
+            unreachable!("checked above");
+        };
+        self.dropped_loss += 1;
+        if S::ENABLED {
+            self.record_drop(src, ev.node, &msg, DropReason::Filter, meta);
+        }
+        true
+    }
+
+    /// Enqueues a copy of the queued *delivery* with exactly `key` — the
+    /// original stays queued — modelling network duplication. The copy is
+    /// due at `max(now, key.time)` with a fresh sequence number (it sorts
+    /// after everything already queued at that time) and inherits the
+    /// original's causal meta. Returns the copy's key, or `None` when `key`
+    /// is absent or names a non-Deliver event.
+    pub fn duplicate_pending(&mut self, key: EventKey) -> Option<EventKey> {
+        let slot = self.queue.remove(key)?;
+        let copy = match &self.slab.peek(slot).kind {
+            EventKind::Deliver { src, msg } => {
+                let node = self.slab.peek(slot).node;
+                Some((node, *src, msg.clone()))
+            }
+            _ => None,
+        };
+        self.queue.push(key, slot);
+        let (node, src, msg) = copy?;
+        let meta = if S::ENABLED {
+            self.meta_slots
+                .get(slot as usize)
+                .copied()
+                .unwrap_or(MsgMeta::NONE)
+        } else {
+            MsgMeta::NONE
+        };
+        let time = key.time.max(self.now);
+        let seq = self.seq;
+        let new_slot = self.enqueue(time, node, EventKind::Deliver { src, msg });
+        if S::ENABLED {
+            self.set_deliver_meta(new_slot, meta);
+        }
+        Some(EventKey { time, seq })
     }
 
     /// Runs an application callback "from the outside" at the current time —
