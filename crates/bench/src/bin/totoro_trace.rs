@@ -1,0 +1,140 @@
+//! `totoro-trace` — offline analytics over totoro-bench JSONL traces.
+//!
+//! ```text
+//! totoro-trace summary       TRACE.jsonl [--json]
+//! totoro-trace critical-path TRACE.jsonl [--json]
+//! totoro-trace timeline      TRACE.jsonl [--bucket-us N] [--json]
+//! totoro-trace matrix        TRACE.jsonl [--buckets N]
+//! totoro-trace diff          A.jsonl B.jsonl
+//! ```
+//!
+//! Traces come from `totoro-bench <scenario> --trace PATH.jsonl`. All
+//! analytics are pure functions of the trace text, so output is
+//! deterministic and pinnable; tables go to stdout through
+//! [`totoro_bench::report::emit`], errors to stderr. Exit codes: 0 on
+//! success, 1 on IO/parse failure, 2 on usage errors.
+
+use totoro_bench::{logging, report, traceview};
+
+const USAGE: &str = "usage: totoro-trace <command> [args]
+
+commands:
+  summary       TRACE.jsonl [--json]    per-layer event counts, bytes, latency
+  critical-path TRACE.jsonl [--json]    longest causal send chain, per hop
+  timeline      TRACE.jsonl [--bucket-us N]  in-flight depth timeline (CSV)
+  matrix        TRACE.jsonl [--buckets N]    src x dst traffic matrix
+  diff          A.jsonl B.jsonl         compare two traces of the same run";
+
+fn fail_usage(msg: &str) -> ! {
+    logging::error(msg);
+    // det: allow(golden_out: usage text on stderr of an offline CLI, not a golden surface)
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Vec<traceview::TraceEvent> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            logging::error(format!("cannot read {path}: {e}"));
+            std::process::exit(1);
+        }
+    };
+    match traceview::parse_jsonl(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            logging::error(format!("{path}: {e}"));
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        fail_usage("missing command");
+    };
+    let mut paths: Vec<&str> = Vec::new();
+    let mut json = false;
+    let mut bucket_us: u64 = 1_000;
+    let mut buckets: usize = 8;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--bucket-us" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => bucket_us = v,
+                None => fail_usage("--bucket-us needs an integer value"),
+            },
+            "--buckets" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => buckets = v,
+                _ => fail_usage("--buckets needs a positive integer value"),
+            },
+            other if other.starts_with("--") => {
+                fail_usage(&format!("unknown flag {other}"));
+            }
+            path => paths.push(path),
+        }
+    }
+    // `diff` is also accepted as a flag spelling (`totoro-trace --diff A B`
+    // reads naturally next to `totoro-bench --trace`).
+    let command = command.trim_start_matches("--");
+    match command {
+        "summary" | "critical-path" | "timeline" | "matrix" => {
+            let [path] = paths[..] else {
+                fail_usage(&format!("{command} takes exactly one TRACE.jsonl"));
+            };
+            let events = load(path);
+            let out = match command {
+                "summary" => {
+                    let s = traceview::summarize(&events);
+                    if json {
+                        traceview::summary_json(&s)
+                    } else {
+                        traceview::render_summary(path, &s)
+                    }
+                }
+                "critical-path" => {
+                    let p = traceview::critical_path(&events);
+                    if json {
+                        traceview::path_json(p.as_ref())
+                    } else {
+                        traceview::render_critical_path(path, p.as_ref())
+                    }
+                }
+                "timeline" => {
+                    let tl = traceview::timeline(&events, bucket_us);
+                    traceview::render_timeline(path, &tl, bucket_us)
+                }
+                _ => {
+                    let m = traceview::matrix(&events, buckets);
+                    traceview::render_matrix(path, &m)
+                }
+            };
+            report::emit(out);
+            if json {
+                report::emitln("");
+            }
+        }
+        "diff" => {
+            let [a, b] = paths[..] else {
+                fail_usage("diff takes exactly two trace files");
+            };
+            let (a_text, b_text) = match (std::fs::read_to_string(a), std::fs::read_to_string(b)) {
+                (Ok(x), Ok(y)) => (x, y),
+                (Err(e), _) => {
+                    logging::error(format!("cannot read {a}: {e}"));
+                    std::process::exit(1);
+                }
+                (_, Err(e)) => {
+                    logging::error(format!("cannot read {b}: {e}"));
+                    std::process::exit(1);
+                }
+            };
+            let ea = load(a);
+            let eb = load(b);
+            report::emit(traceview::render_diff(a, &a_text, &ea, b, &b_text, &eb));
+        }
+        other => fail_usage(&format!("unknown command {other:?}")),
+    }
+}

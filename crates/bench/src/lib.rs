@@ -36,3 +36,4 @@ pub mod scenario;
 pub mod scenarios;
 pub mod setups;
 pub mod simcore;
+pub mod traceview;

@@ -41,8 +41,13 @@ pub struct Params {
     /// [`totoro_simnet::NoopSink`] installed.
     pub trace: Option<String>,
     /// Restrict buffered trace records to this layer tag (metrics still
-    /// aggregate over every layer).
+    /// aggregate over every layer). Validated against [`KNOWN_LAYERS`] at
+    /// parse time.
     pub trace_filter: Option<String>,
+    /// Write wall-clock engine timings (a nondeterministic side channel,
+    /// never part of golden stdout) to this path. Scenarios that support
+    /// it attach per-trial payloads via [`TrialReport::push_side`].
+    pub profile_wall: Option<String>,
     /// Suppress progress lines on stderr (`--quiet`).
     pub quiet: bool,
     /// Emit debug detail on stderr (`--verbose`).
@@ -60,12 +65,18 @@ impl Default for Params {
             json: false,
             trace: None,
             trace_filter: None,
+            profile_wall: None,
             quiet: false,
             verbose: false,
             extra: Vec::new(),
         }
     }
 }
+
+/// Layer tags a simulation can emit, and therefore the only values
+/// `--trace-filter` accepts. A typo'd filter used to buffer zero records
+/// silently; now it is rejected at parse time with this list.
+pub const KNOWN_LAYERS: &[&str] = &["app", "central", "dht", "fl", "forest", "sim"];
 
 impl Params {
     /// Returns the `extra` override for `key`, if present.
@@ -182,6 +193,11 @@ pub struct TrialReport {
     pub rows: Vec<Vec<String>>,
     /// Free-form commentary lines (e.g. paper-claim checks).
     pub notes: Vec<String>,
+    /// Named side-channel payloads (`name`, JSON text), excluded from
+    /// [`TrialReport::to_json`]. Wall-clock profiles travel here — they
+    /// are nondeterministic by nature, so the driver routes them to side
+    /// files (`--profile-wall`) and golden stdout never sees them.
+    pub side: Vec<(String, String)>,
 }
 
 impl TrialReport {
@@ -212,6 +228,22 @@ impl TrialReport {
     /// Appends a commentary line.
     pub fn push_note(&mut self, note: impl Into<String>) {
         self.notes.push(note.into());
+    }
+
+    /// Attaches a named side-channel payload (JSON text). Side payloads
+    /// are excluded from [`TrialReport::to_json`] and every rendered
+    /// surface; the driver collects them per trial (see
+    /// [`execute_with_sides`]).
+    pub fn push_side(&mut self, name: &str, payload: String) {
+        self.side.push((name.to_string(), payload));
+    }
+
+    /// Returns the side payload `name`, if the trial attached one.
+    pub fn side(&self, name: &str) -> Option<&str> {
+        self.side
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Returns metric `name`, panicking on a miss (report/render are built
@@ -514,7 +546,16 @@ pub fn parse_params(defaults: Params, args: &[String]) -> Result<Params, String>
                 }
             }
             "trace" => params.trace = Some(value.clone()),
-            "trace-filter" => params.trace_filter = Some(value.clone()),
+            "trace-filter" => {
+                if !KNOWN_LAYERS.contains(&value.as_str()) {
+                    return Err(format!(
+                        "--trace-filter: unknown layer {value:?}; valid layers: {}",
+                        KNOWN_LAYERS.join(", ")
+                    ));
+                }
+                params.trace_filter = Some(value.clone());
+            }
+            "profile-wall" => params.profile_wall = Some(value.clone()),
             _ => params.extra.push((key.to_string(), value.clone())),
         }
     }
@@ -539,6 +580,19 @@ pub fn execute(scenario: &dyn Scenario, params: &Params) -> String {
 /// each tagged with its trial index), anything else → Chrome `trace_event`
 /// JSON with one `pid` per trial.
 pub fn execute_traced(scenario: &dyn Scenario, params: &Params) -> (String, Option<String>) {
+    let (out, trace, _sides) = execute_with_sides(scenario, params);
+    (out, trace)
+}
+
+/// [`execute_traced`] plus the per-trial side-channel payloads, in trial
+/// order as `(trial index, name, payload)`. Side payloads never appear in
+/// [`TrialReport::to_json`]; a scenario's `render` may consult
+/// *deterministic* sides (e.g. an engine profile) but must never render a
+/// wall-clock one — those exist precisely because they cannot be golden.
+pub fn execute_with_sides(
+    scenario: &dyn Scenario,
+    params: &Params,
+) -> (String, Option<String>, Vec<(usize, String, String)>) {
     let trials = Trial::seal(scenario.trials(params));
     let (reports, trace) = if params.trace.is_some() {
         let spec = SinkSpec::traced(TraceOptions::from_params(params));
@@ -579,13 +633,19 @@ pub fn execute_traced(scenario: &dyn Scenario, params: &Params) -> (String, Opti
     } else {
         (run_trials(scenario, &trials, params.jobs), None)
     };
+    let mut sides = Vec::new();
+    for (i, report) in reports.iter().enumerate() {
+        for (name, payload) in &report.side {
+            sides.push((i, name.clone(), payload.clone()));
+        }
+    }
     let out = if params.json {
         let lines: Vec<String> = reports.iter().map(TrialReport::to_json).collect();
         format!("[{}]\n", lines.join(",\n "))
     } else {
         scenario.render(params, &reports)
     };
-    (out, trace)
+    (out, trace, sides)
 }
 
 /// CLI driver: parses `args`, runs the scenario, prints the output.
@@ -600,7 +660,41 @@ pub fn run_scenario(scenario: &dyn Scenario, args: &[String]) {
                 params.quiet,
                 params.verbose,
             ));
-            let (out, trace) = execute_traced(scenario, &params);
+            let (out, trace, sides) = execute_with_sides(scenario, &params);
+            if let Some(path) = params.profile_wall.as_deref() {
+                let trials: Vec<String> = sides
+                    .iter()
+                    .filter(|(_, name, _)| name == "wall_profile")
+                    .map(|(i, _, payload)| {
+                        // Payloads are JSON objects; tag each with its trial.
+                        format!("{{\"trial\":{i},{}", &payload[1..])
+                    })
+                    .collect();
+                let doc = format!(
+                    "{{\"schema\":\"totoro-wall-profile/v1\",\"scenario\":\"{}\",\"trials\":[{}]}}\n",
+                    scenario.name(),
+                    trials.join(","),
+                );
+                match std::fs::write(path, &doc) {
+                    Ok(()) => crate::logging::info(format_args!(
+                        "{}: wrote wall profile ({} trials) to {path}",
+                        scenario.name(),
+                        trials.len()
+                    )),
+                    Err(e) => {
+                        crate::logging::error(format_args!(
+                            "cannot write wall profile {path}: {e}"
+                        ));
+                        std::process::exit(1);
+                    }
+                }
+                if trials.is_empty() {
+                    crate::logging::info(format_args!(
+                        "note: scenario {:?} attached no wall profiles; the file is empty",
+                        scenario.name()
+                    ));
+                }
+            }
             if let (Some(path), Some(trace)) = (params.trace.as_deref(), trace) {
                 match std::fs::write(path, &trace) {
                     Ok(()) => crate::logging::info(format_args!(
@@ -620,7 +714,8 @@ pub fn run_scenario(scenario: &dyn Scenario, args: &[String]) {
             crate::logging::error(format_args!("{}: {msg}", scenario.name()));
             crate::logging::info(format_args!(
                 "usage: {} [--nodes N] [--seed S] [--jobs J] [--json] [--trace PATH] \
-                 [--trace-filter LAYER] [--quiet] [--verbose] [--key value ...]",
+                 [--trace-filter LAYER] [--profile-wall PATH] [--quiet] [--verbose] \
+                 [--key value ...]",
                 scenario.name()
             ));
             std::process::exit(2);
@@ -796,6 +891,86 @@ mod tests {
             let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(parse_params(Params::default(), &args).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn trace_filter_validates_layer_names() {
+        let ok: Vec<String> = ["--trace-filter", "dht"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            parse_params(Params::default(), &ok).unwrap().trace_filter,
+            Some("dht".to_string())
+        );
+        let bad: Vec<String> = ["--trace-filter", "dhtt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = parse_params(Params::default(), &bad).unwrap_err();
+        assert!(err.contains("unknown layer \"dhtt\""), "{err}");
+        for layer in KNOWN_LAYERS {
+            assert!(err.contains(layer), "error must list {layer}: {err}");
+        }
+    }
+
+    #[test]
+    fn profile_wall_flag_parses() {
+        let args: Vec<String> = ["--profile-wall", "wall.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let p = parse_params(Params::default(), &args).unwrap();
+        assert_eq!(p.profile_wall, Some("wall.json".to_string()));
+        assert_eq!(Params::default().profile_wall, None);
+    }
+
+    #[test]
+    fn side_payloads_stay_off_json_and_reach_the_driver() {
+        struct Sided;
+        impl Scenario for Sided {
+            fn name(&self) -> &'static str {
+                "sided"
+            }
+            fn description(&self) -> &'static str {
+                "test"
+            }
+            fn trials(&self, _params: &Params) -> Vec<Trial> {
+                Trial::seal(vec![Trial::new("a", 0), Trial::new("b", 0)])
+            }
+            fn run_with_sink(
+                &self,
+                trial: &Trial,
+                _sink: &SinkSpec,
+            ) -> (TrialReport, Option<Vec<TraceRecord>>) {
+                let mut r = TrialReport::for_trial(trial);
+                if trial.index == 1 {
+                    r.push_side("wall_profile", "{\"wall\":123}".to_string());
+                }
+                (r, None)
+            }
+            fn render(&self, _params: &Params, reports: &[TrialReport]) -> String {
+                format!("{}", reports.len())
+            }
+        }
+        let params = Params {
+            json: true,
+            ..Params::default()
+        };
+        let (out, _trace, sides) = execute_with_sides(&Sided, &params);
+        assert!(
+            !out.contains("wall_profile"),
+            "side leaked into JSON: {out}"
+        );
+        assert_eq!(
+            sides,
+            vec![(1, "wall_profile".to_string(), "{\"wall\":123}".to_string())]
+        );
+        let mut r = TrialReport::default();
+        r.push_side("wall_profile", "{}".to_string());
+        assert_eq!(r.side("wall_profile"), Some("{}"));
+        assert_eq!(r.side("missing"), None);
+        assert!(!r.to_json().contains("wall_profile"));
     }
 
     #[test]

@@ -24,10 +24,11 @@ use std::time::Instant;
 
 use crate::scenario::{Params, Scenario, SinkSpec, Trial, TrialReport};
 use crate::simcore::{
-    build_eua_topology, run_event_churn, run_event_churn_on, run_million_node, run_multicast,
+    build_eua_topology, profile_event_churn, run_event_churn, run_event_churn_on,
+    run_event_churn_traced, run_million_node, run_million_node_profiled, run_multicast,
     run_timer_storm, run_timer_storm_on, zone_rings,
 };
-use totoro_simnet::{HeapQueue, TraceRecord};
+use totoro_simnet::{HeapQueue, TraceRecord, WheelQueue};
 
 /// The historical full-mode multicast size (`mc_rounds 4 × mc_weights
 /// 275000`) divided by today's sampled size (`1 × 137500`): the clone
@@ -152,6 +153,10 @@ impl Scenario for Simcore {
                 .with("reps", reps)
         })
         .collect();
+        // `--profile-wall` adds one untimed wall-profiled run per
+        // million_node point; the flag travels as a point coordinate so
+        // the trial stays a self-contained value.
+        let wall = u64::from(params.profile_wall.is_some());
         for spec in params.extra_str("shards", "1,2,4").split(',') {
             let k: u64 = spec.trim().parse().unwrap_or(0);
             if k == 0 {
@@ -161,8 +166,24 @@ impl Scenario for Simcore {
                 Trial::new(&format!("million_node_s{k}"), params.seed)
                     .with("smoke", m)
                     .with("reps", mn_reps)
-                    .with("shards", k),
+                    .with("shards", k)
+                    .with("wall", wall),
             );
+        }
+        // `--workloads a,b,...` restricts the sweep (CI uses it to emit a
+        // wheel-only or heap-only trace); `million_node` selects every
+        // shard count.
+        if let Some(list) = params.extra("workloads") {
+            let wanted: Vec<&str> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|w| !w.is_empty())
+                .collect();
+            trials.retain(|t| {
+                wanted.iter().any(|w| {
+                    t.setup == *w || (*w == "million_node" && t.setup.starts_with("million_node_s"))
+                })
+            });
         }
         Trial::seal(trials)
     }
@@ -170,7 +191,7 @@ impl Scenario for Simcore {
     fn run_with_sink(
         &self,
         trial: &Trial,
-        _sink: &SinkSpec,
+        sink: &SinkSpec,
     ) -> (TrialReport, Option<Vec<TraceRecord>>) {
         let s = sizes(if trial.get("smoke") == 1 {
             "smoke"
@@ -202,7 +223,58 @@ impl Scenario for Simcore {
                 "state_bytes_per_node",
                 state_bytes as f64 / topo.len().max(1) as f64,
             );
+            if trial.get("wall") == 1 {
+                // One extra run, outside the timed region, with wall
+                // profiling on: profiling bookkeeping must never shadow
+                // the measurement above, and the wall numbers go to a
+                // side channel (never golden stdout).
+                let (_, _, wall) = run_million_node_profiled(
+                    &topo,
+                    &next,
+                    &cross,
+                    s.mn_rounds,
+                    shards,
+                    trial.seed,
+                    true,
+                );
+                let wall = wall.expect("wall profiling requested");
+                report.push_side(
+                    "wall_profile",
+                    format!(
+                        "{{\"setup\":\"{}\",\"wall\":{}}}",
+                        trial.setup,
+                        wall.to_json()
+                    ),
+                );
+            }
             return (report, None);
+        }
+        // Side products of the churn workloads, both from extra untimed
+        // runs: the deterministic engine profile (lands in
+        // BENCH_simcore.json and the simcore guard), and — when `--trace`
+        // was given — the recorded event stream. Timed repetitions always
+        // run with the zero-cost NoopSink, so the guard numbers are
+        // unaffected.
+        let records = if sink.is_traced() {
+            match trial.setup.as_str() {
+                "event_churn" => Some(run_event_churn_traced::<WheelQueue>(
+                    s.churn_nodes,
+                    s.churn_tokens,
+                    s.churn_hops,
+                )),
+                "event_churn_heap" => Some(run_event_churn_traced::<HeapQueue>(
+                    s.churn_nodes,
+                    s.churn_tokens,
+                    s.churn_hops,
+                )),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if trial.setup == "event_churn" {
+            let profile = profile_event_churn(s.churn_nodes, s.churn_tokens, s.churn_hops);
+            report.push_side("engine_profile", profile.to_json());
         }
         let (events, wall_ms) = match trial.setup.as_str() {
             "event_churn" => timed(reps, || {
@@ -231,7 +303,7 @@ impl Scenario for Simcore {
             "events_per_sec",
             events as f64 / (wall_ms / 1_000.0).max(1e-9),
         );
-        (report, None)
+        (report, records)
     }
 
     fn render(&self, params: &Params, reports: &[TrialReport]) -> String {
@@ -322,9 +394,29 @@ impl Scenario for Simcore {
             let mn_json = mn_speedup.map_or(String::new(), |(hi, x)| {
                 format!(",\n  \"million_node_speedup_{hi}_over_1\": {x:.2}")
             });
+            // The deterministic engine self-profile of the event_churn
+            // workload (identical across --jobs/--shards; the guard
+            // asserts `batch.singleton_ratio` from it).
+            let prof_json = reports
+                .iter()
+                .find(|r| r.setup == "event_churn")
+                .and_then(|r| r.side("engine_profile"))
+                .map_or(String::new(), |p| format!(",\n  \"engine_profile\": {p}"));
+            // A `--workloads`-filtered run lacks some ratio inputs; emit
+            // `null` rather than `NaN` so the file stays valid JSON.
+            let jnum = |x: f64| {
+                if x.is_finite() {
+                    format!("{x:.2}")
+                } else {
+                    "null".to_string()
+                }
+            };
             let json = format!(
-                "{{\n  \"schema\": \"totoro-simcore/v1\",\n  \"mode\": \"{mode}\",\n  \"host_cores\": {host_cores},\n  \"multicast_sample_divisor\": {MULTICAST_SAMPLE_DIVISOR},\n  \"workloads\": [\n{}\n  ],\n  \"multicast_speedup_shared_over_clone\": {speedup:.2},\n  \"timer_storm_speedup_wheel_over_heap\": {timer_speedup:.2},\n  \"event_churn_speedup_wheel_over_heap\": {churn_speedup:.2}{mn_json}\n}}\n",
+                "{{\n  \"schema\": \"totoro-simcore/v1\",\n  \"schema_version\": 2,\n  \"mode\": \"{mode}\",\n  \"host_cores\": {host_cores},\n  \"multicast_sample_divisor\": {MULTICAST_SAMPLE_DIVISOR},\n  \"workloads\": [\n{}\n  ],\n  \"multicast_speedup_shared_over_clone\": {},\n  \"timer_storm_speedup_wheel_over_heap\": {},\n  \"event_churn_speedup_wheel_over_heap\": {}{mn_json}{prof_json}\n}}\n",
                 workloads.join(",\n"),
+                jnum(speedup),
+                jnum(timer_speedup),
+                jnum(churn_speedup),
             );
             if let Err(e) = std::fs::write(&path, json) {
                 out.push_str(&format!("\nWARNING: could not write {path}: {e}\n"));

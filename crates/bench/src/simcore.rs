@@ -16,8 +16,9 @@
 
 use totoro_simnet::geo::{eua_regions_scaled, generate};
 use totoro_simnet::{
-    sub_rng, Application, Ctx, EventQueue, LatencyModel, NodeIdx, NoopSink, Payload, ShardedSim,
-    Shared, SimDuration, Simulator, Topology, WheelQueue,
+    sub_rng, Application, Ctx, EngineProfile, EventQueue, LatencyModel, NodeIdx, NoopSink, Payload,
+    RecordingSink, ShardedSim, Shared, SimDuration, Simulator, Topology, TraceRecord, WallProfile,
+    WheelQueue,
 };
 
 /// Fixed per-hop delay for every workload: `Topology::uniform` with
@@ -75,6 +76,55 @@ pub fn run_event_churn_on<Q: EventQueue>(n: usize, tokens: usize, hops: u64) -> 
     }
     assert!(sim.run_until_quiet(u64::MAX));
     sim.events_processed()
+}
+
+/// [`run_event_churn_on`] with a [`RecordingSink`] installed: returns the
+/// buffered trace records instead of the event count. The event stream —
+/// and therefore the trace — is byte-identical across [`EventQueue`]
+/// implementations; `totoro-trace diff` on a wheel-vs-heap pair proves it.
+pub fn run_event_churn_traced<Q: EventQueue>(
+    n: usize,
+    tokens: usize,
+    hops: u64,
+) -> Vec<TraceRecord> {
+    let mut sim = Simulator::<ChurnNode, RecordingSink, Q>::with_queue(
+        flat_topology(n),
+        1,
+        RecordingSink::new(0),
+        |_| ChurnNode { n },
+    );
+    let tokens = tokens.min(n);
+    for t in 0..tokens {
+        let _ = sim.with_app(t, |_node, ctx| {
+            let next = (ctx.me() + 1) % n;
+            ctx.send(next, Hop(hops));
+        });
+    }
+    assert!(sim.run_until_quiet(u64::MAX));
+    sim.into_sink().take_records()
+}
+
+/// [`run_event_churn`] with engine self-profiling enabled: returns the
+/// deterministic [`EngineProfile`] of the run. Kept separate from the
+/// timed entry points so profiling bookkeeping never shadows a
+/// measurement.
+pub fn profile_event_churn(n: usize, tokens: usize, hops: u64) -> EngineProfile {
+    let mut sim = Simulator::<ChurnNode, NoopSink, WheelQueue>::with_queue(
+        flat_topology(n),
+        1,
+        NoopSink,
+        |_| ChurnNode { n },
+    );
+    sim.enable_profiling();
+    let tokens = tokens.min(n);
+    for t in 0..tokens {
+        let _ = sim.with_app(t, |_node, ctx| {
+            let next = (ctx.me() + 1) % n;
+            ctx.send(next, Hop(hops));
+        });
+    }
+    assert!(sim.run_until_quiet(u64::MAX));
+    sim.engine_profile().expect("profiling enabled")
 }
 
 // ------------------------------------------------------------ multicast --
@@ -347,6 +397,49 @@ pub fn run_million_node(
     }
 }
 
+/// [`run_million_node`] with engine self-profiling (and, when `wall` is
+/// set, wall-clock phase timing) enabled. The [`EngineProfile`] is
+/// derived from simulated state only, so it is identical for every
+/// `shards` value; the optional [`WallProfile`] is real elapsed time and
+/// belongs on a nondeterministic side channel, never on golden stdout.
+pub fn run_million_node_profiled(
+    topo: &Topology,
+    next: &[u32],
+    cross: &[u32],
+    rounds: u32,
+    shards: usize,
+    seed: u64,
+    wall: bool,
+) -> (MillionRun, EngineProfile, Option<WallProfile>) {
+    let n = topo.len();
+    let mut sim = ShardedSim::new(topo.clone(), seed, shards, |i| GossipNode {
+        next: next[i],
+        cross: cross[i],
+        rounds,
+        round: 0,
+        recvd: 0,
+    })
+    .expect("EUA topology is shardable")
+    .with_profiling();
+    if wall {
+        sim = sim.with_wall_profiling();
+    }
+    sim.run_to_quiescence();
+    let expected =
+        n as u64 * u64::from(rounds) * 2 + n as u64 + n.div_ceil(16) as u64 * u64::from(rounds);
+    assert_eq!(sim.events_processed(), expected, "gossip lost events");
+    let profile = sim.engine_profile().expect("profiling enabled");
+    let wall_profile = sim.wall_profile();
+    (
+        MillionRun {
+            events: sim.events_processed(),
+            state_bytes: sim.state_bytes(),
+        },
+        profile,
+        wall_profile,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,6 +487,44 @@ mod tests {
         let events = run_timer_storm(20, 8, 3);
         // n starts + n × (timers + timers × refires − 1) firings.
         assert_eq!(events, 20 + 20 * (8 + 8 * 3 - 1));
+    }
+
+    #[test]
+    fn traced_churn_is_queue_invariant() {
+        use totoro_simnet::{jsonl_trace, HeapQueue};
+        let wheel = run_event_churn_traced::<WheelQueue>(50, 4, 40);
+        let heap = run_event_churn_traced::<HeapQueue>(50, 4, 40);
+        assert!(!wheel.is_empty());
+        assert_eq!(jsonl_trace(&wheel), jsonl_trace(&heap));
+    }
+
+    #[test]
+    fn churn_profile_is_deterministic_and_counts_events() {
+        let a = profile_event_churn(50, 4, 40);
+        let b = profile_event_churn(50, 4, 40);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.groups > 0);
+        let ratio = a.singleton_ratio();
+        assert!((0.0..=1.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn million_node_profile_is_shard_invariant() {
+        let topo = build_eua_topology(600, 42);
+        let (next, cross) = zone_rings(&topo);
+        let (r1, p1, w1) = run_million_node_profiled(&topo, &next, &cross, 3, 1, 42, false);
+        let (r4, p4, w4) = run_million_node_profiled(&topo, &next, &cross, 3, 4, 42, true);
+        assert_eq!(r1.events, r4.events);
+        assert_eq!(
+            p1.to_json(),
+            p4.to_json(),
+            "engine profile must not see shard count"
+        );
+        assert!(w1.is_none());
+        let w4 = w4.expect("wall profiling requested");
+        assert_eq!(w4.shards, 4);
+        assert!(p1.windows > 0);
+        assert!(p1.remote_msgs > 0);
     }
 
     #[test]

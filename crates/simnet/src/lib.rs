@@ -43,6 +43,7 @@ pub use chaos::{
 };
 pub use churn::{ChurnEvent, ChurnSchedule};
 pub use geo::{GeoPoint, PlacedNode, Region};
+pub use obs::prof::{EngineProf, EngineProfile, ShardWall, WallProfile};
 pub use obs::{
     chrome_trace, chrome_trace_multi, jsonl_trace, jsonl_trace_multi, last_trace_before,
     span_records, span_report, spans, CountingSink, DropReason, Histogram, MetricsRegistry,

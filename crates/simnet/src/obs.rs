@@ -33,6 +33,8 @@ use std::collections::BTreeMap;
 use crate::binning::level_of;
 use crate::topology::NodeIdx;
 
+pub mod prof;
+
 /// Sentinel parent id marking the first message of a span.
 pub const ROOT_PARENT: u64 = u64::MAX;
 

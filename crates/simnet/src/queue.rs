@@ -214,6 +214,13 @@ const NUM_SLOTS: usize = 1 << 10;
 /// Words in the bucket-occupancy bitmap.
 const OCC_WORDS: usize = NUM_SLOTS / 64;
 
+/// Wheel bucket granularity, re-exported for model-level profiling
+/// ([`crate::obs::prof`]): each slot covers `2^WHEEL_GRANULARITY_SHIFT` µs.
+pub const WHEEL_GRANULARITY_SHIFT: u32 = GRANULARITY_SHIFT;
+/// Wheel window span in slots, re-exported for model-level profiling
+/// ([`crate::obs::prof`]).
+pub const WHEEL_NUM_SLOTS: usize = NUM_SLOTS;
+
 /// Hierarchical timer wheel with a heap spill for the far future.
 ///
 /// # Geometry

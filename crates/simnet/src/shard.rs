@@ -60,12 +60,14 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 
 use crate::bitset::BitSet;
 use crate::chaos::{ChaosInjector, ChaosStats, FaultPlan};
 use crate::churn::ChurnSchedule;
+use crate::obs::prof::{EngineProf, EngineProfile, ShardWall, WallProfile, BAND_NONE};
 use crate::obs::{DropReason, MsgMeta, TraceBody, TraceRecord, ROOT_PARENT};
 use crate::queue::{EventKey, EventQueue, WheelQueue};
 use crate::rng::sub_rng;
@@ -235,6 +237,9 @@ struct RemoteEvent<M> {
     dst: NodeIdx,
     kind: EventKind<M>,
     meta: MsgMeta,
+    /// Creation-band classification ([`crate::obs::prof`]); the band is a
+    /// creation-site fact, so it travels with the event across shards.
+    band: u8,
 }
 
 /// One shard: a self-contained event loop over the shard's member nodes.
@@ -274,6 +279,15 @@ struct ShardCore<A: Application> {
     trace_key: EventKey,
     /// Emission index within the current event.
     trace_sub: u32,
+    /// Deterministic engine self-profiling (`obs::prof`); `None` costs a
+    /// single predictable branch per hot-path site.
+    prof: Option<Box<EngineProf>>,
+    /// Wall-clock phase timings (side-channel only); `None` when off.
+    wall: Option<ShardWall>,
+    /// Cross-shard events this shard handed off (outbox pushes). Always
+    /// counted — one add per handoff — surfaced only via the wall-clock
+    /// side channel, never on a golden surface.
+    remote_sent: u64,
 }
 
 impl<A: Application> ShardCore<A> {
@@ -310,6 +324,9 @@ impl<A: Application> ShardCore<A> {
                 seq: 0,
             },
             trace_sub: 0,
+            prof: None,
+            wall: None,
+            remote_sent: 0,
         }
     }
 
@@ -355,6 +372,7 @@ impl<A: Application> ShardCore<A> {
         node: NodeIdx,
         kind: EventKind<A::Msg>,
         meta: MsgMeta,
+        band: u8,
     ) {
         let slot = self.slab.insert(PendingEvent { node, kind });
         if self.traced() {
@@ -364,10 +382,39 @@ impl<A: Application> ShardCore<A> {
             }
             self.meta_slots[i] = meta;
         }
+        if let Some(p) = self.prof.as_mut() {
+            p.note_band(slot, band);
+        }
         self.queue.push(EventKey { time: at, seq }, slot);
     }
 
+    /// Classifies an event created *now* and due at `at` into a scheduler
+    /// band ([`crate::obs::prof`]). [`BAND_NONE`] unless profiling is on.
+    #[inline]
+    fn prof_classify(&mut self, at: SimTime) -> u8 {
+        match self.prof.as_mut() {
+            Some(p) => p.classify(self.now.as_micros(), at.as_micros()),
+            None => BAND_NONE,
+        }
+    }
+
+    /// Counts a cross-region message from `from` to `to` in the engine
+    /// profiler (regions, not shards: the profile must not depend on the
+    /// shard plan). A no-op unless profiling is on or regions match.
+    #[inline]
+    fn prof_note_remote(&mut self, topology: &Topology, from: NodeIdx, to: NodeIdx) {
+        if self.prof.is_some() {
+            let (ra, rb) = (topology.region(from), topology.region(to));
+            if ra != rb {
+                if let Some(p) = self.prof.as_mut() {
+                    p.on_remote(ra, rb);
+                }
+            }
+        }
+    }
+
     /// Enqueues locally or parks in the outbox for the owning shard.
+    #[allow(clippy::too_many_arguments)] // Mirrors the event-tuple fields plus the wheel band.
     fn route(
         &mut self,
         plan: &ShardPlan,
@@ -376,24 +423,27 @@ impl<A: Application> ShardCore<A> {
         dst: NodeIdx,
         kind: EventKind<A::Msg>,
         meta: MsgMeta,
+        band: u8,
     ) {
         let shard = plan.node_shard[dst] as usize;
         if shard == self.id {
-            self.enqueue(at, seq, dst, kind, meta);
+            self.enqueue(at, seq, dst, kind, meta, band);
         } else {
+            self.remote_sent += 1;
             self.outbox[shard].push(RemoteEvent {
                 at,
                 seq,
                 dst,
                 kind,
                 meta,
+                band,
             });
         }
     }
 
     fn enqueue_remote(&mut self, ev: RemoteEvent<A::Msg>) {
         debug_assert!(ev.at > self.now, "cross-shard event inside the window");
-        self.enqueue(ev.at, ev.seq, ev.dst, ev.kind, ev.meta);
+        self.enqueue(ev.at, ev.seq, ev.dst, ev.kind, ev.meta, ev.band);
     }
 
     /// Earliest pending event time in microseconds (`u64::MAX` if idle).
@@ -415,6 +465,13 @@ impl<A: Application> ShardCore<A> {
     /// `end_us` (exclusive).
     fn process_window(&mut self, end_us: u64, topology: &Topology, plan: &ShardPlan) {
         debug_assert!(end_us > 0);
+        if let Some(p) = self.prof.as_mut() {
+            // Single-shard runs open windows lazily at dispatch; clamping
+            // them to this call's bound reproduces the parallel loop's
+            // `min(T + L, deadline + 1)` window ends exactly. (Parallel
+            // runs pre-open every window and never consult the clamp.)
+            p.set_window_clamp(end_us);
+        }
         let bound = SimTime::from_micros(end_us - 1);
         while let Some((key, slot)) = self.queue.pop_before(bound) {
             self.dispatch(key, slot, topology, plan);
@@ -422,6 +479,14 @@ impl<A: Application> ShardCore<A> {
     }
 
     fn dispatch(&mut self, key: EventKey, slot: u32, topology: &Topology, plan: &ShardPlan) {
+        if self.prof.is_some() {
+            let ev = self.slab.peek(slot);
+            let dst = ev.node;
+            let groupable = !matches!(ev.kind, EventKind::Down | EventKind::Up);
+            if let Some(p) = self.prof.as_mut() {
+                p.on_dispatch(slot, key.time.as_micros(), dst, groupable);
+            }
+        }
         let meta = if self.traced() {
             self.meta_slots
                 .get(slot as usize)
@@ -566,6 +631,8 @@ impl<A: Application> ShardCore<A> {
             let delay = topology.sample_delay(node, src, 64, &mut self.rng);
             let at = self.close(self.now + delay);
             let seq = self.mint_seq(local);
+            let band = self.prof_classify(at);
+            self.prof_note_remote(topology, node, src);
             self.route(
                 plan,
                 at,
@@ -573,6 +640,7 @@ impl<A: Application> ShardCore<A> {
                 src,
                 EventKind::SendFailed { peer: node },
                 MsgMeta::NONE,
+                band,
             );
         }
     }
@@ -705,6 +773,8 @@ impl<A: Application> ShardCore<A> {
                             });
                         }
                         let seq = self.mint_seq(local);
+                        let band = self.prof_classify(at);
+                        self.prof_note_remote(topology, src, to);
                         self.route(
                             plan,
                             at,
@@ -715,15 +785,34 @@ impl<A: Application> ShardCore<A> {
                                 msg: msg.clone(),
                             },
                             dup_meta,
+                            band,
                         );
                     }
                     let seq = self.mint_seq(local);
-                    self.route(plan, at, seq, to, EventKind::Deliver { src, msg }, meta);
+                    let band = self.prof_classify(at);
+                    self.prof_note_remote(topology, src, to);
+                    self.route(
+                        plan,
+                        at,
+                        seq,
+                        to,
+                        EventKind::Deliver { src, msg },
+                        meta,
+                        band,
+                    );
                 }
                 Action::Timer { delay, token } => {
                     let at = self.close(self.now + delay);
                     let seq = self.mint_seq(local);
-                    self.enqueue(at, seq, src, EventKind::Timer { token }, MsgMeta::NONE);
+                    let band = self.prof_classify(at);
+                    self.enqueue(
+                        at,
+                        seq,
+                        src,
+                        EventKind::Timer { token },
+                        MsgMeta::NONE,
+                        band,
+                    );
                 }
                 Action::Compute { kind, amount } => {
                     match kind {
@@ -825,7 +914,14 @@ impl<A: Application> ShardedSim<A> {
             for local in 0..core.globals.len() {
                 let seq = core.mint_seq(local);
                 let node = core.globals[local];
-                core.enqueue(SimTime::ZERO, seq, node, EventKind::Start, MsgMeta::NONE);
+                core.enqueue(
+                    SimTime::ZERO,
+                    seq,
+                    node,
+                    EventKind::Start,
+                    MsgMeta::NONE,
+                    BAND_NONE,
+                );
             }
         }
         Ok(ShardedSim {
@@ -843,6 +939,68 @@ impl<A: Application> ShardedSim<A> {
             core.msg_counters = vec![1; core.globals.len()];
         }
         self
+    }
+
+    /// Enables deterministic engine self-profiling ([`crate::obs::prof`]).
+    /// Must be called before running. Every profiled quantity is a
+    /// function of simulated state only — the collector is seeded with the
+    /// *topology's* lookahead bound, not the plan's (which is zero for one
+    /// shard) — so [`ShardedSim::engine_profile`] is byte-identical across
+    /// shard counts for a fixed `(scenario, seed)`. Time-zero Start events
+    /// predate the collector and stay band-unclassified, uniformly.
+    pub fn with_profiling(mut self) -> Self {
+        let lookahead = self
+            .topology
+            .min_inter_region_delay()
+            .map_or(0, |d| d.as_micros());
+        for core in &mut self.cores {
+            core.prof = Some(Box::new(EngineProf::new(lookahead)));
+        }
+        self
+    }
+
+    /// Enables wall-clock per-phase timing (process/barrier/exchange per
+    /// shard worker), retrieved with [`ShardedSim::wall_profile`]. The
+    /// measurements are host wall time — nondeterministic by nature — and
+    /// only ever surface through the `--profile-wall` side channel.
+    pub fn with_wall_profiling(mut self) -> Self {
+        for core in &mut self.cores {
+            core.wall = Some(ShardWall::default());
+        }
+        self
+    }
+
+    /// The merged engine-profile snapshot, if profiling was enabled.
+    pub fn engine_profile(&self) -> Option<EngineProfile> {
+        if self.cores.iter().all(|c| c.prof.is_none()) {
+            return None;
+        }
+        Some(EngineProf::merged(
+            self.cores.iter().filter_map(|c| c.prof.as_deref()),
+        ))
+    }
+
+    /// The wall-clock side-channel snapshot, if wall profiling was
+    /// enabled. Implementation-level by design: reports the *executed*
+    /// shard count, per-shard handoff counts, and host-time phase totals.
+    pub fn wall_profile(&self) -> Option<WallProfile> {
+        if self.cores.iter().all(|c| c.wall.is_none()) {
+            return None;
+        }
+        Some(WallProfile {
+            shards: self.cores.len(),
+            lookahead_us: self.plan.lookahead().as_micros(),
+            per_shard: self
+                .cores
+                .iter()
+                .map(|c| {
+                    let mut w = c.wall.clone().unwrap_or_default();
+                    w.remote_sent = c.remote_sent;
+                    w.events = c.events_processed;
+                    w
+                })
+                .collect(),
+        })
     }
 
     /// Number of nodes.
@@ -969,7 +1127,8 @@ impl<A: Application> ShardedSim<A> {
         let local = self.plan.local_index[i] as usize;
         let seq = core.mint_seq(local);
         let kind = if down { EventKind::Down } else { EventKind::Up };
-        core.enqueue(at, seq, i, kind, MsgMeta::NONE);
+        let band = core.prof_classify(at);
+        core.enqueue(at, seq, i, kind, MsgMeta::NONE, band);
     }
 
     /// Applies a whole churn schedule (call before running).
@@ -1030,7 +1189,11 @@ where
             // zero-cost baseline path.
             let end = deadline.as_micros().saturating_add(1);
             let core = &mut self.cores[0];
+            let t0 = core.wall.is_some().then(Instant::now); // det: allow(entropy: wall-clock phase timing, surfaced only via the --profile-wall side channel)
             core.process_window(end, &self.topology, &self.plan);
+            if let (Some(t0), Some(w)) = (t0, core.wall.as_mut()) {
+                w.process_ns += t0.elapsed().as_nanos() as u64;
+            }
         } else {
             self.run_parallel(deadline);
         }
@@ -1062,8 +1225,16 @@ where
                 let mailboxes = &mailboxes;
                 let barrier = &barrier;
                 scope.spawn(move || loop {
+                    // Wall-clock phase timing is taken only when enabled
+                    // and only surfaces via the --profile-wall side
+                    // channel; it never touches simulated state.
+                    let timed = core.wall.is_some();
                     next_due[core.id].store(core.next_due_us(), Ordering::SeqCst);
+                    let t0 = timed.then(Instant::now); // det: allow(entropy: wall-clock phase timing, surfaced only via the --profile-wall side channel)
                     barrier.wait();
+                    if let (Some(t0), Some(w)) = (t0, core.wall.as_mut()) {
+                        w.barrier_ns += t0.elapsed().as_nanos() as u64;
+                    }
                     // Every worker computes the same window from the same
                     // published values, so they agree without a leader.
                     let t = next_due
@@ -1077,7 +1248,18 @@ where
                     let end_us = t
                         .saturating_add(lookahead_us)
                         .min(deadline_us.saturating_add(1));
+                    if let Some(p) = core.prof.as_mut() {
+                        // Pre-open this window on every core — even cores
+                        // with nothing due — so per-window event counts
+                        // stay index-aligned and merge shard-invariantly.
+                        p.window_open(end_us);
+                    }
+                    let t0 = timed.then(Instant::now); // det: allow(entropy: wall-clock phase timing, surfaced only via the --profile-wall side channel)
                     core.process_window(end_us, topology, plan);
+                    if let (Some(t0), Some(w)) = (t0, core.wall.as_mut()) {
+                        w.process_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    let t0 = timed.then(Instant::now); // det: allow(entropy: wall-clock phase timing, surfaced only via the --profile-wall side channel)
                     for (j, out) in core.outbox.iter_mut().enumerate() {
                         if !out.is_empty() {
                             mailboxes[core.id][j]
@@ -1086,14 +1268,29 @@ where
                                 .append(out);
                         }
                     }
+                    if let (Some(t0), Some(w)) = (t0, core.wall.as_mut()) {
+                        w.exchange_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    let t0 = timed.then(Instant::now); // det: allow(entropy: wall-clock phase timing, surfaced only via the --profile-wall side channel)
                     barrier.wait();
+                    if let (Some(t0), Some(w)) = (t0, core.wall.as_mut()) {
+                        w.barrier_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    let t0 = timed.then(Instant::now); // det: allow(entropy: wall-clock phase timing, surfaced only via the --profile-wall side channel)
                     for row in mailboxes.iter() {
                         let mut inbox = row[core.id].lock().expect("mailbox poisoned");
                         for ev in inbox.drain(..) {
                             core.enqueue_remote(ev);
                         }
                     }
+                    if let (Some(t0), Some(w)) = (t0, core.wall.as_mut()) {
+                        w.exchange_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    let t0 = timed.then(Instant::now); // det: allow(entropy: wall-clock phase timing, surfaced only via the --profile-wall side channel)
                     barrier.wait();
+                    if let (Some(t0), Some(w)) = (t0, core.wall.as_mut()) {
+                        w.barrier_ns += t0.elapsed().as_nanos() as u64;
+                    }
                 });
             }
         });
@@ -1379,6 +1576,61 @@ mod tests {
         assert_eq!(base, run_k(2));
         assert!(base.1.dropped > 0, "loss spike never fired");
         assert!(base.1.duplicated > 0, "duplication never fired");
+    }
+
+    #[test]
+    fn engine_profile_is_shard_count_invariant() {
+        use crate::chaos::{Fault, FaultKind};
+        use crate::trial::TrialReport;
+        // Four populated regions so four shards actually run four window
+        // loops; chaos (loss + duplication) and churn exercise the drop,
+        // duplicate, and bounce creation sites.
+        let counts = [7usize, 5, 6, 6];
+        let n: usize = counts.iter().sum();
+        let plan = FaultPlan::none()
+            .with_fault(Fault::new(
+                SimTime::ZERO,
+                SimTime::from_micros(20_000),
+                FaultKind::LossSpike { prob: 0.2 },
+            ))
+            .with_fault(Fault::new(
+                SimTime::ZERO,
+                SimTime::from_micros(20_000),
+                FaultKind::Duplicate { prob: 0.15 },
+            ));
+        let run_k = |k: usize| {
+            let mut sim = ShardedSim::new(many_zones(&counts, 500), 9, k, |_| Pong {
+                n,
+                rounds: 30,
+                recvd: 0,
+                failed: 0,
+            })
+            .unwrap()
+            .with_profiling();
+            sim.apply_plan(&plan, 11);
+            sim.schedule_down(n - 1, SimTime::from_micros(3_250));
+            sim.schedule_up(n - 1, SimTime::from_micros(9_750));
+            sim.run_to_quiescence();
+            let profile = sim.engine_profile().expect("profiling enabled");
+            (TrialReport::capture_sharded(&sim).to_json(), profile)
+        };
+        let (base_json, base) = run_k(1);
+        for k in [2, 4] {
+            let (json, _) = run_k(k);
+            assert_eq!(base_json, json, "shards = {k}");
+        }
+        // The profile is non-trivial: many conservative windows, real
+        // cross-region traffic on every mirror pair, delivery groups with
+        // a sane singleton ratio.
+        assert!(base.windows > 10, "windows = {}", base.windows);
+        assert_eq!(base.barrier_rounds(), 3 * base.windows);
+        assert!(base.remote_msgs > 0);
+        assert!(base.remote_pairs >= 4, "pairs = {}", base.remote_pairs);
+        assert!(base.groups > 0);
+        let ratio = base.singleton_ratio();
+        assert!((0.0..=1.0).contains(&ratio), "ratio = {ratio}");
+        assert!(base.late + base.near + base.far > 0);
+        assert!(base_json.contains(",\"engine_profile\":{\"sched\":"));
     }
 
     #[test]

@@ -40,6 +40,7 @@ use rand::rngs::StdRng;
 
 use crate::bitset::BitSet;
 use crate::chaos::{ChaosInjector, FaultFilter};
+use crate::obs::prof::{EngineProf, EngineProfile};
 use crate::obs::{DropReason, MsgMeta, NoopSink, TraceBody, TraceRecord, TraceSink, ROOT_PARENT};
 use crate::queue::{EventKey, EventQueue, WheelQueue};
 use crate::rng::sub_rng;
@@ -418,6 +419,9 @@ pub struct Simulator<A: Application, S: TraceSink = NoopSink, Q: EventQueue = Wh
     dropped_dead: u64,
     chaos: Option<ChaosInjector>,
     fault_filter: Option<FaultFilter<A::Msg>>,
+    // Deterministic engine self-profiling (`obs::prof`), enabled on
+    // demand; `None` costs one predictable branch per hot-path site.
+    prof: Option<Box<EngineProf>>,
     sink: S,
 }
 
@@ -490,6 +494,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
             dropped_dead: 0,
             chaos: None,
             fault_filter: None,
+            prof: None,
             sink,
         };
         for node in 0..n {
@@ -512,6 +517,26 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
     /// observed.
     pub fn into_sink(self) -> S {
         self.sink
+    }
+
+    /// Enables deterministic engine self-profiling ([`crate::obs::prof`]).
+    /// Every profiled quantity is a function of simulated state only, so
+    /// a profile for a fixed `(scenario, seed)` is byte-identical across
+    /// `--jobs` worker counts; the snapshot lands in
+    /// [`TrialReport::engine_profile`](crate::trial::TrialReport). Events
+    /// already queued (the time-zero starts) predate the collector and
+    /// stay band-unclassified, uniformly across engines.
+    pub fn enable_profiling(&mut self) {
+        let lookahead = self
+            .topology
+            .min_inter_region_delay()
+            .map_or(0, |d| d.as_micros());
+        self.prof = Some(Box::new(EngineProf::new(lookahead)));
+    }
+
+    /// The engine-profile snapshot, if profiling was enabled.
+    pub fn engine_profile(&self) -> Option<EngineProfile> {
+        self.prof.as_ref().map(|p| p.snapshot())
     }
 
     /// Installs a fault injector consulted on every message send (after the
@@ -667,6 +692,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
     /// `None` if no event is queued under `key`.
     pub fn dispatch_pending(&mut self, key: EventKey) -> Option<SimTime> {
         let slot = self.queue.remove(key)?;
+        self.prof_note_dispatch(key.time.max(self.now), slot);
         let (ev, meta) = self.take_event(slot);
         Some(self.dispatch(key.time.max(self.now), ev, meta))
     }
@@ -766,6 +792,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
     /// queue is empty.
     pub fn step(&mut self) -> Option<SimTime> {
         let (key, slot) = self.queue.pop()?;
+        self.prof_note_dispatch(key.time, slot);
         let (ev, meta) = self.take_event(slot);
         Some(self.dispatch(key.time, ev, meta))
     }
@@ -776,6 +803,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
     /// [`Simulator::step`].
     pub fn step_before(&mut self, deadline: SimTime) -> Option<SimTime> {
         let (key, slot) = self.queue.pop_before(deadline)?;
+        self.prof_note_dispatch(key.time, slot);
         let (ev, meta) = self.take_event(slot);
         Some(self.dispatch(key.time, ev, meta))
     }
@@ -783,6 +811,11 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
     /// Runs until the queue drains or simulated time exceeds `deadline`.
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        if let Some(p) = self.prof.as_mut() {
+            // Mirror the sharded engine's window clamp (`deadline + 1`,
+            // exclusive) so the lazy window recurrence matches it.
+            p.set_window_clamp(deadline.as_micros().saturating_add(1));
+        }
         let mut processed = 0;
         loop {
             let n = self.step_batch(deadline, u64::MAX);
@@ -811,6 +844,36 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
             remaining -= n;
         }
         self.queue.is_empty()
+    }
+
+    /// Feeds one about-to-dispatch event into the engine profiler: window
+    /// recurrence, tick occupancy, overflow-migration readback, delivery
+    /// grouping. Must run before [`Simulator::take_event`] recycles the
+    /// slot. A no-op (one predictable branch) unless profiling is on.
+    #[inline]
+    fn prof_note_dispatch(&mut self, time: SimTime, slot: u32) {
+        if self.prof.is_some() {
+            let ev = self.slab.peek(slot);
+            let node = ev.node;
+            let groupable = !matches!(ev.kind, EventKind::Down | EventKind::Up);
+            if let Some(p) = self.prof.as_mut() {
+                p.on_dispatch(slot, time.as_micros(), node, groupable);
+            }
+        }
+    }
+
+    /// Counts one cross-region message from `from` to `to` in the engine
+    /// profiler, when the two nodes live in different topology regions.
+    #[inline]
+    fn prof_note_remote(&mut self, from: NodeIdx, to: NodeIdx) {
+        if self.prof.is_some() {
+            let (ra, rb) = (self.topology.region(from), self.topology.region(to));
+            if ra != rb {
+                if let Some(p) = self.prof.as_mut() {
+                    p.on_remote(ra, rb);
+                }
+            }
+        }
     }
 
     /// Takes a popped event's payload out of the slab, along with its
@@ -847,6 +910,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
         let Some((key, slot)) = self.queue.pop_before(deadline) else {
             return 0;
         };
+        self.prof_note_dispatch(key.time, slot);
         let (ev, meta) = self.take_event(slot);
         if matches!(ev.kind, EventKind::Down | EventKind::Up) {
             self.dispatch(key.time, ev, meta);
@@ -884,6 +948,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
                 break;
             }
             self.queue.pop().expect("peeked queue head vanished");
+            self.prof_note_dispatch(key.time, next_slot);
             let (ev2, meta2) = self.take_event(next_slot);
             batch.push((ev2.kind, meta2));
         }
@@ -1009,6 +1074,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
                     // delay away. A direct enqueue, not a scratch action.
                     let delay = self.topology.sample_delay(node, src, 64, &mut self.rng);
                     let at = self.now + delay;
+                    self.prof_note_remote(node, src);
                     self.enqueue(at, src, EventKind::SendFailed { peer: node });
                 }
             }
@@ -1147,6 +1213,7 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
             // direct enqueue — it does not go through the action scratch.
             let delay = self.topology.sample_delay(node, src, 64, &mut self.rng);
             let at = self.now + delay;
+            self.prof_note_remote(node, src);
             self.enqueue(at, src, EventKind::SendFailed { peer: node });
         }
         self.now
@@ -1160,16 +1227,15 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
     /// installed [`EventQueue`]. Returns the slab slot so Deliver sites can
     /// park causal meta alongside it.
     fn enqueue(&mut self, time: SimTime, node: NodeIdx, kind: EventKind<A::Msg>) -> u32 {
+        let time = time.max(self.now);
         let seq = self.seq;
         self.seq += 1;
         let slot = self.slab.insert(PendingEvent { node, kind });
-        self.queue.push(
-            EventKey {
-                time: time.max(self.now),
-                seq,
-            },
-            slot,
-        );
+        self.queue.push(EventKey { time, seq }, slot);
+        if let Some(p) = self.prof.as_mut() {
+            let band = p.classify(self.now.as_micros(), time.as_micros());
+            p.note_band(slot, band);
+        }
         slot
     }
 
@@ -1307,6 +1373,12 @@ impl<A: Application, S: TraceSink, Q: EventQueue> Simulator<A, S, Q> {
                         }
                     }
                     let at = self.now + extra + delay;
+                    if self.prof.is_some() {
+                        self.prof_note_remote(src, to);
+                        if duplicate {
+                            self.prof_note_remote(src, to);
+                        }
+                    }
                     if S::ENABLED {
                         let (layer, kind) = tag(&msg);
                         self.sink.record(TraceRecord {

@@ -13,7 +13,9 @@
 //! code paths), which the benchmark harness relies on for byte-identical
 //! output across `--jobs` settings.
 
+use crate::obs::prof::EngineProfile;
 use crate::obs::{MetricsSnapshot, TraceSink};
+use crate::shard::ShardedSim;
 use crate::sim::{Application, Simulator};
 use crate::traffic::TrafficTotals;
 
@@ -42,6 +44,11 @@ pub struct TrialReport {
     /// aggregating trace sink installed (`None` with the default
     /// [`crate::obs::NoopSink`], keeping untraced JSON unchanged).
     pub obs: Option<MetricsSnapshot>,
+    /// Deterministic engine self-profile ([`crate::obs::prof`]), when the
+    /// trial ran with profiling enabled (`None` otherwise, keeping
+    /// unprofiled JSON unchanged). Byte-identical across `--jobs` and
+    /// `--shards` for a fixed `(scenario, seed)`.
+    pub engine_profile: Option<EngineProfile>,
 }
 
 impl TrialReport {
@@ -62,6 +69,30 @@ impl TrialReport {
             dht_us: sim.compute().dht_us.iter().sum(),
             memory_bytes,
             obs: sim.sink().snapshot(),
+            engine_profile: sim.engine_profile(),
+        }
+    }
+
+    /// Captures a report from a sharded simulator. Traffic and compute
+    /// come from the merged per-zone ledgers; `obs` stays `None` (the
+    /// sharded engine records traces, not metrics snapshots), and the
+    /// engine profile is the shard-count-invariant merge when profiling
+    /// was enabled.
+    pub fn capture_sharded<A: Application>(sim: &ShardedSim<A>) -> Self {
+        let memory_bytes = sim.apps().map(|a| a.memory_bytes() as u64).sum();
+        let (fl_us, dht_us) = sim.compute_totals();
+        TrialReport {
+            nodes: sim.len(),
+            sim_end_us: sim.now().as_micros(),
+            events: sim.events_processed(),
+            dropped_loss: sim.dropped_loss(),
+            dropped_dead: sim.dropped_dead(),
+            traffic: sim.traffic_totals(),
+            fl_us,
+            dht_us,
+            memory_bytes,
+            obs: None,
+            engine_profile: sim.engine_profile(),
         }
     }
 
@@ -99,6 +130,11 @@ impl TrialReport {
             (None, Some(theirs)) => self.obs = Some(theirs.clone()),
             _ => {}
         }
+        match (&mut self.engine_profile, &other.engine_profile) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.engine_profile = Some(theirs.clone()),
+            _ => {}
+        }
     }
 
     /// Deterministic JSON rendering (fixed key order, integer counters).
@@ -130,6 +166,10 @@ impl TrialReport {
         if let Some(obs) = &self.obs {
             out.push_str(",\"obs\":");
             out.push_str(&obs.to_json());
+        }
+        if let Some(prof) = &self.engine_profile {
+            out.push_str(",\"engine_profile\":");
+            out.push_str(&prof.to_json());
         }
         out.push('}');
         out
@@ -212,6 +252,7 @@ mod tests {
         }
         // Without a snapshot the report keeps its historical shape...
         assert!(!json.contains("\"obs\""));
+        assert!(!json.contains("\"engine_profile\""));
         // ...and a snapshot only ever appends after the fixed fields.
         let mut traced = r.clone();
         traced.obs = Some(MetricsSnapshot::default());
@@ -219,6 +260,12 @@ mod tests {
         assert!(traced_json.starts_with(json.trim_end_matches('}')));
         assert!(traced_json.contains(",\"obs\":{"));
         assert_eq!(traced_json, traced.clone().to_json());
+        // The engine profile appends after obs, in that fixed order.
+        let mut profiled = traced.clone();
+        profiled.engine_profile = Some(EngineProfile::default());
+        let profiled_json = profiled.to_json();
+        assert!(profiled_json.starts_with(traced_json.trim_end_matches('}')));
+        assert!(profiled_json.contains(",\"engine_profile\":{\"sched\":"));
     }
 
     #[test]

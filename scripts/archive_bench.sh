@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Archives a simcore benchmark JSON as a timestamped snapshot so the perf
+# trajectory accumulates per commit instead of overwriting one file.
+#
+#   scripts/archive_bench.sh [SRC.json] [DEST_DIR]
+#
+# Defaults: SRC = BENCH_simcore.json, DEST_DIR = results/bench_history.
+# The snapshot name embeds the UTC timestamp and the current git short
+# SHA (or "nogit" outside a checkout), e.g.
+# results/bench_history/simcore_20260809T120000Z_98b20ad.json.
+set -euo pipefail
+
+src="${1:-BENCH_simcore.json}"
+dest_dir="${2:-results/bench_history}"
+
+if [ ! -s "$src" ]; then
+  echo "archive_bench: $src missing or empty" >&2
+  exit 1
+fi
+
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)
+stamp=$(date -u +%Y%m%dT%H%M%SZ)
+mkdir -p "$dest_dir"
+dest="$dest_dir/simcore_${stamp}_${sha}.json"
+cp "$src" "$dest"
+echo "archive_bench: archived $src -> $dest"

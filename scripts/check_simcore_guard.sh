@@ -121,6 +121,24 @@ else
   fi
 fi
 
+# Engine self-profile sanity: fresh runs must carry the deterministic
+# profile block, and its batched-delivery singleton ratio must be a real
+# ratio. A value outside 0..=1 (or a missing block) means the profiling
+# counters desynced from the event loop.
+ratio=$(sed -n 's/.*"engine_profile":.*"singleton_ratio":\([0-9.]*\).*/\1/p' "${fresh[0]}")
+if [ -z "$ratio" ]; then
+  echo "FAIL engine_profile: batch.singleton_ratio missing from ${fresh[0]}"
+  fail=1
+else
+  ratio_ok=$(awk -v r="$ratio" 'BEGIN { print (r >= 0 && r <= 1) ? 1 : 0 }')
+  if [ "$ratio_ok" = 1 ]; then
+    echo "ok   engine_profile: singleton_ratio $ratio within 0..=1"
+  else
+    echo "FAIL engine_profile: singleton_ratio $ratio outside 0..=1"
+    fail=1
+  fi
+fi
+
 if [ "$fail" != 0 ]; then
   echo "simcore guard failed: hot-path throughput regressed beyond ${tolerance}%"
   exit 1
