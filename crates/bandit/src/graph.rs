@@ -90,6 +90,7 @@ impl LinkGraph {
 
     /// Expected delay of a path given as edge ids.
     pub fn path_delay(&self, path: &[EdgeId]) -> f64 {
+        // det: allow(float: left-to-right over the path slice; edge order is the path itself — canonical by definition)
         path.iter().map(|&e| self.expected_delay(e)).sum()
     }
 

@@ -200,7 +200,9 @@ impl Server {
     fn queue_round_dispatch(&mut self, ctx: &mut Ctx<'_, CentralMsg>, app: usize) {
         let k = self.apps[app].participants.len() as u64;
         let cost = SimDuration::from_micros(
-            self.profile.round_setup_us + k * self.profile.per_download_us,
+            self.profile
+                .round_setup_us
+                .saturating_add(k * self.profile.per_download_us),
         );
         ctx.charge_compute(ComputeKind::FlTask, cost);
         let end = self.queue.schedule(ctx.now(), cost);

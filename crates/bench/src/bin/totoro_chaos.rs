@@ -23,7 +23,7 @@ use std::process::ExitCode;
 use totoro_bench::chaos::{
     run_chaos_trial_sink, shrink, BugKind, ChaosScenario, ChaosSpec, PLAN_NAMES,
 };
-use totoro_bench::scenario::{run_trials, Params, Scenario, Trial};
+use totoro_bench::scenario::{self, run_trials, Params, Scenario, Trial};
 use totoro_bench::{logging, report};
 use totoro_simnet::{
     chrome_trace, jsonl_trace, last_trace_before, span_report, NoopSink, RecordingSink,
@@ -49,7 +49,7 @@ fn usage() -> ! {
     logging::info(format_args!(
         "usage: totoro-chaos [--seeds N] [--plan NAME... | NAME,NAME] [--nodes N] [--trees N]\n\
          \x20                   [--seed S] [--jobs J] [--inject-bug NAME] [--report PATH]\n\
-         \x20                   [--replay PLAN:SEED] [--trace PATH] [--trace-filter LAYER]\n\
+         \x20                   [--replay PLAN:SEED] [--trace PATH] [--trace-filter L1,L2,...]\n\
          \x20                   [--quiet] [--verbose]\n\
          plans: {}",
         PLAN_NAMES.join(", ")
@@ -93,7 +93,13 @@ fn parse_cli(args: &[String]) -> Cli {
             "--inject-bug" => cli.bug = Some(value("--inject-bug")),
             "--report" => cli.report_path = Some(value("--report")),
             "--trace" => cli.trace = Some(value("--trace")),
-            "--trace-filter" => cli.trace_filter = Some(value("--trace-filter")),
+            "--trace-filter" => match scenario::validate_trace_filter(&value("--trace-filter")) {
+                Ok(layers) => cli.trace_filter = Some(layers),
+                Err(msg) => {
+                    logging::error(msg);
+                    usage();
+                }
+            },
             "--quiet" => cli.quiet = true,
             "--verbose" => cli.verbose = true,
             "--replay" => {

@@ -23,6 +23,7 @@ static LEVEL: AtomicU8 = AtomicU8::new(Level::Normal as u8);
 
 /// Installs the global verbosity (call once from `main` after flag parsing).
 pub fn set_level(level: Level) {
+    // det: allow(ordering: host-only stderr verbosity flag; written once in main before any sim runs and never read back into simulated state)
     LEVEL.store(level as u8, Ordering::Relaxed);
 }
 
@@ -38,6 +39,7 @@ pub fn level_from_flags(quiet: bool, verbose: bool) -> Level {
 }
 
 fn enabled(at: Level) -> bool {
+    // det: allow(ordering: host-only stderr verbosity flag; gates log lines only, never simulated state or golden bytes)
     LEVEL.load(Ordering::Relaxed) >= at as u8
 }
 

@@ -78,6 +78,31 @@ impl Default for Params {
 /// silently; now it is rejected at parse time with this list.
 pub const KNOWN_LAYERS: &[&str] = &["app", "central", "dht", "fl", "forest", "sim"];
 
+/// Validates a `--trace-filter` value: one layer tag or a
+/// comma-separated list (`forest,dht`), each element checked against
+/// [`KNOWN_LAYERS`]. Returns the normalized (trimmed, comma-joined)
+/// list; the caller maps `Err` to the usual exit-2 usage contract.
+pub fn validate_trace_filter(value: &str) -> Result<String, String> {
+    let mut layers = Vec::new();
+    for raw in value.split(',') {
+        let layer = raw.trim();
+        if layer.is_empty() {
+            return Err(format!(
+                "--trace-filter: empty layer in {value:?}; expected a comma-separated list of: {}",
+                KNOWN_LAYERS.join(", ")
+            ));
+        }
+        if !KNOWN_LAYERS.contains(&layer) {
+            return Err(format!(
+                "--trace-filter: unknown layer {layer:?}; valid layers: {}",
+                KNOWN_LAYERS.join(", ")
+            ));
+        }
+        layers.push(layer);
+    }
+    Ok(layers.join(","))
+}
+
 impl Params {
     /// Returns the `extra` override for `key`, if present.
     pub fn extra(&self, key: &str) -> Option<&str> {
@@ -476,11 +501,13 @@ pub fn run_trials_with<R: Send>(
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
+                // det: allow(ordering: work-stealing ticket counter; which worker runs trial i is invisible because results land in per-index slots merged in index order)
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     break;
                 }
                 let result = run(i);
+                // det: allow(lock: per-trial result slot keyed by trial index; each slot is written once and read only after the scope joins, so lock order cannot reach the merged output)
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -547,13 +574,7 @@ pub fn parse_params(defaults: Params, args: &[String]) -> Result<Params, String>
             }
             "trace" => params.trace = Some(value.clone()),
             "trace-filter" => {
-                if !KNOWN_LAYERS.contains(&value.as_str()) {
-                    return Err(format!(
-                        "--trace-filter: unknown layer {value:?}; valid layers: {}",
-                        KNOWN_LAYERS.join(", ")
-                    ));
-                }
-                params.trace_filter = Some(value.clone());
+                params.trace_filter = Some(validate_trace_filter(value)?);
             }
             "profile-wall" => params.profile_wall = Some(value.clone()),
             _ => params.extra.push((key.to_string(), value.clone())),
@@ -714,7 +735,7 @@ pub fn run_scenario(scenario: &dyn Scenario, args: &[String]) {
             crate::logging::error(format_args!("{}: {msg}", scenario.name()));
             crate::logging::info(format_args!(
                 "usage: {} [--nodes N] [--seed S] [--jobs J] [--json] [--trace PATH] \
-                 [--trace-filter LAYER] [--profile-wall PATH] [--quiet] [--verbose] \
+                 [--trace-filter L1,L2,...] [--profile-wall PATH] [--quiet] [--verbose] \
                  [--key value ...]",
                 scenario.name()
             ));
@@ -912,6 +933,31 @@ mod tests {
         for layer in KNOWN_LAYERS {
             assert!(err.contains(layer), "error must list {layer}: {err}");
         }
+    }
+
+    #[test]
+    fn trace_filter_accepts_comma_separated_lists_validated_per_element() {
+        let ok: Vec<String> = ["--trace-filter", "forest, dht"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            parse_params(Params::default(), &ok).unwrap().trace_filter,
+            Some("forest,dht".to_string()),
+            "elements are trimmed and re-joined normalized"
+        );
+        let bad: Vec<String> = ["--trace-filter", "forest,dhtt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = parse_params(Params::default(), &bad).unwrap_err();
+        assert!(err.contains("unknown layer \"dhtt\""), "{err}");
+        let empty: Vec<String> = ["--trace-filter", "forest,,dht"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = parse_params(Params::default(), &empty).unwrap_err();
+        assert!(err.contains("empty layer"), "{err}");
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl Scenario for Ablation {
         sim.traffic_mut().reset();
         let start = sim.now();
         broadcast_from_root(&mut sim, t, 1, update_bytes);
-        let deadline = SimTime::from_micros(start.as_micros() + 600 * 1_000_000);
+        let deadline = SimTime::from_micros(start.as_micros().saturating_add(600 * 1_000_000));
         let agg_at = loop {
             let done = sim
                 .app(root)
@@ -102,7 +102,7 @@ impl Scenario for Ablation {
                 break at;
             }
             assert!(sim.now() < deadline, "aggregation never completed");
-            let next = SimTime::from_micros(sim.now().as_micros() + 50_000);
+            let next = SimTime::from_micros(sim.now().as_micros().saturating_add(50_000));
             sim.run_until(next);
         };
         let traffic = sim.traffic().node(root);

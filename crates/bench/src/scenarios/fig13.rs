@@ -97,7 +97,7 @@ impl Scenario for Fig13 {
                 deploy.run(t);
                 let mem: usize = (0..n).map(|i| deploy.sim().app(i).memory_bytes()).sum();
                 mem_series.push((t.as_secs_f64(), mem as f64 / n as f64 / 1024.0));
-                t = SimTime::from_micros(t.as_micros() + step.as_micros());
+                t = SimTime::from_micros(t.as_micros().saturating_add(step.as_micros()));
             }
             report.sim = totoro_simnet::TrialReport::capture(deploy.sim());
             report.push_metric("fl_s", report.sim.fl_us as f64 / 1e6);
@@ -119,7 +119,7 @@ impl Scenario for Fig13 {
                 engine.run(t);
                 let mem: usize = (0..=n).map(|i| engine.sim().app(i).memory_bytes()).sum();
                 mem_series.push((t.as_secs_f64(), mem as f64 / (n + 1) as f64 / 1024.0));
-                t = SimTime::from_micros(t.as_micros() + step.as_micros());
+                t = SimTime::from_micros(t.as_micros().saturating_add(step.as_micros()));
             }
             report.sim = totoro_simnet::TrialReport::capture(engine.sim());
             report.push_metric("fl_s", report.sim.fl_us as f64 / 1e6);

@@ -193,7 +193,9 @@ fn run_measure(trial: &Trial) -> TrialReport {
     // Reset logs; broadcast once.
     let start = sim.now();
     broadcast_from_root(&mut sim, t, 1, model_bytes);
-    sim.run_until(SimTime::from_micros(start.as_micros() + 600 * 1_000_000));
+    sim.run_until(SimTime::from_micros(
+        start.as_micros().saturating_add(600 * 1_000_000),
+    ));
 
     // Dissemination makespan: last broadcast receipt among subscribers.
     let mut last_receipt = start;

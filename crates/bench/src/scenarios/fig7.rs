@@ -88,7 +88,7 @@ impl Scenario for Fig7 {
         sim.run_until(SimTime::from_micros(60 * 1_000_000));
         sim.traffic_mut().reset();
         let start = sim.now();
-        let end = SimTime::from_micros(start.as_micros() + window * 1_000_000);
+        let end = SimTime::from_micros(start.as_micros().saturating_add(window * 1_000_000));
         sim.run_until(end);
         let _ = &topics;
 

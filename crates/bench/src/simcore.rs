@@ -229,7 +229,7 @@ impl Application for TimerNode {
         for t in 0..self.timers {
             // Stagger phases so firings interleave across nodes.
             let phase = (ctx.me() as u64 * 37 + t * 101) % 1_000;
-            ctx.set_timer(SimDuration::from_micros(100 + phase), t);
+            ctx.set_timer(SimDuration::from_micros(phase.saturating_add(100)), t);
         }
     }
 
@@ -238,7 +238,10 @@ impl Application for TimerNode {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Nil>, token: u64) {
         self.fired += 1;
         if self.fired < self.timers * self.refires {
-            ctx.set_timer(SimDuration::from_micros(500 + (token % 97)), token);
+            ctx.set_timer(
+                SimDuration::from_micros((token % 97).saturating_add(500)),
+                token,
+            );
         }
     }
 }

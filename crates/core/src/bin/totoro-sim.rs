@@ -210,6 +210,7 @@ fn main() {
     println!("\napp                  master  rounds  best acc  time-to-target"); // det: allow(golden_out: interactive demo binary; its stdout is a human-facing summary, never golden-compared)
     for a in 0..apps {
         let curve = deploy.curve(a);
+        // det: allow(float: f64::max is exactly commutative and associative, so fold order cannot change the result)
         let best = curve.iter().map(|p| p.accuracy).fold(0.0, f64::max);
         let r = curve.last().map_or(0, |p| p.round);
         let master = deploy.master_of(a).map_or("-".into(), |m| m.to_string());

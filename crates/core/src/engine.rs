@@ -149,7 +149,7 @@ impl FlEngine {
         // Serialization cost (§6's binary-array mechanism).
         api.charge_compute(
             ComputeKind::FlTask,
-            SimDuration::from_micros(5 + weights.len() as u64 / 100),
+            SimDuration::from_micros((weights.len() as u64 / 100).saturating_add(5)),
         );
         api.broadcast_expecting_local(topic, round, FlData::model(&weights), local.is_some());
         if let Some((update, delay)) = local {

@@ -84,15 +84,16 @@ fn main() -> ExitCode {
         print!("{}", diag::render_allows(&report.allows));
         return ExitCode::SUCCESS;
     }
+    let stale = report.stale_allows();
     if cli.json {
         print!(
             "{}",
-            diag::render_json(&report.findings, report.files_scanned)
+            diag::render_json(&report.findings, &stale, report.files_scanned)
         );
     } else {
         print!(
             "{}",
-            diag::render_report(&report.findings, report.files_scanned)
+            diag::render_report(&report.findings, &stale, report.files_scanned)
         );
     }
     if report.findings.is_empty() {

@@ -1,7 +1,8 @@
 //! End-to-end rule checks against the deliberate-violation fixture tree
-//! under `tests/fixtures/ws/` — one breach per rule, plus decoys
-//! (annotated sites, strings, comments) that must stay silent. Asserting
-//! the *exact* diagnostic set pins file, line, and column reporting.
+//! under `tests/fixtures/ws/` — one breach per rule site, plus decoys
+//! (annotated sites, strings, comments, `#[cfg(test)]` bodies) that must
+//! stay silent. Asserting the *exact* diagnostic set pins file, line,
+//! and column reporting for all ten rules.
 
 use std::path::Path;
 
@@ -23,12 +24,18 @@ fn fixture_tree_yields_exactly_one_violation_per_rule_site() {
         .map(|f| (f.rule.code().to_string(), f.file.clone(), f.line, f.col))
         .collect();
     let want: Vec<(String, String, u32, u32)> = [
+        ("DET009", "crates/bandit/src/stats.rs", 6, 15),
         ("DET003", "crates/bench/src/bin/run.rs", 4, 5),
         ("DET005", "crates/core/src/lib.rs", 6, 1),
         ("DET005", "crates/core/src/lib.rs", 8, 15),
         ("DET004", "crates/dht/src/lib.rs", 1, 1),
+        ("DET008", "crates/pubsub/src/cache.rs", 6, 11),
         ("DET001", "crates/pubsub/src/lib.rs", 8, 17),
+        ("DET007", "crates/simnet/src/atomics.rs", 20, 19),
+        ("DET007", "crates/simnet/src/atomics.rs", 21, 18),
+        ("DET010", "crates/simnet/src/clock.rs", 6, 14),
         ("DET006", "crates/simnet/src/runner.rs", 5, 18),
+        ("DET008", "crates/simnet/src/shard.rs", 22, 35),
         ("DET002", "crates/simnet/src/sim.rs", 5, 17),
     ]
     .into_iter()
@@ -40,17 +47,25 @@ fn fixture_tree_yields_exactly_one_violation_per_rule_site() {
 #[test]
 fn fixture_decoy_suppressions_appear_in_the_allow_audit() {
     let report = lint_root(&fixture_root()).expect("fixture tree lints");
-    // The two *valid* suppressions (pubsub's annotated map, simnet's
-    // env::var decoy) are listed with their reasons; the malformed ones
-    // in core are listed too — the audit view hides nothing.
+    // The valid suppressions (one per suppressible rule class) are
+    // listed with their reasons; the malformed ones in core are listed
+    // too — the audit view hides nothing.
     let classes: Vec<&str> = report
         .allows
         .iter()
-        .map(|(_, a)| a.class.as_str())
+        .map(|r| r.allow.class.as_str())
         .collect();
-    assert!(classes.contains(&"unordered"));
-    assert!(classes.contains(&"entropy"));
-    assert!(classes.contains(&"parallel"));
+    for class in [
+        "unordered",
+        "entropy",
+        "parallel",
+        "ordering",
+        "lock",
+        "float",
+        "time",
+    ] {
+        assert!(classes.contains(&class), "missing {class} in {classes:?}");
+    }
     assert!(
         classes.contains(&"speed"),
         "malformed allows stay auditable"
@@ -58,15 +73,40 @@ fn fixture_decoy_suppressions_appear_in_the_allow_audit() {
 }
 
 #[test]
+fn exactly_the_stale_decoy_is_reported_stale() {
+    let report = lint_root(&fixture_root()).expect("fixture tree lints");
+    let stale: Vec<(String, u32)> = report
+        .stale_allows()
+        .iter()
+        .map(|r| (r.file.clone(), r.allow.line))
+        .collect();
+    assert_eq!(
+        stale,
+        vec![("crates/simnet/src/atomics.rs".to_string(), 18)],
+        "the deliberate stale allow (and only it) is surfaced"
+    );
+    // Malformed allows (unknown class, missing reason) are DET005
+    // violations, never counted as stale.
+    assert!(report
+        .allows
+        .iter()
+        .filter(|r| r.file.contains("core"))
+        .all(|r| !r.stale()));
+}
+
+#[test]
 fn each_rule_fires_and_each_annotated_decoy_is_silent() {
     let report = lint_root(&fixture_root()).expect("fixture tree lints");
     let codes: Vec<&str> = report.findings.iter().map(|f| f.rule.code()).collect();
-    for rule in ["DET001", "DET002", "DET003", "DET004", "DET005", "DET006"] {
+    for rule in [
+        "DET001", "DET002", "DET003", "DET004", "DET005", "DET006", "DET007", "DET008", "DET009",
+        "DET010",
+    ] {
         assert!(codes.contains(&rule), "{rule} must fire on its fixture");
     }
     // The annotated HashMap in pubsub's `Good` struct (line 13), the
-    // suppressed env::var in simnet/sim.rs (line 11), and the sanctioned
-    // shard runner must not be flagged.
+    // suppressed env::var in simnet/sim.rs (line 11), and the allowed
+    // lock in pubsub/cache.rs (line 11) must not be flagged.
     assert!(
         !report
             .findings
@@ -78,11 +118,16 @@ fn each_rule_fires_and_each_annotated_decoy_is_silent() {
         !report
             .findings
             .iter()
-            .any(|f| f.line == 11 && f.file.contains("simnet")),
-        "suppressed env::var decoy was flagged"
+            .any(|f| f.line == 11 && (f.file.contains("sim.rs") || f.file.contains("cache.rs"))),
+        "suppressed decoy was flagged"
     );
-    // The sanctioned shard runner may use thread primitives.
-    assert!(!report.findings.iter().any(|f| f.file.contains("shard.rs")));
+    // The sanctioned shard runner may use thread primitives; its only
+    // finding is the deliberate nested-guard DET008 breach.
+    assert!(report
+        .findings
+        .iter()
+        .filter(|f| f.file.contains("shard.rs"))
+        .all(|f| f.rule.code() == "DET008" && f.line == 22));
     // The allowed module may print.
     assert!(!report.findings.iter().any(|f| f.file.contains("report.rs")));
 }

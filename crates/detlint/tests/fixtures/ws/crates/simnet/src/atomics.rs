@@ -1,0 +1,22 @@
+//! Fixture: DET007 atomic-ordering — one bare `Relaxed`, one atomic op
+//! with no ordering; decoys are explicit-SeqCst ops, a proven allow, a
+//! stale allow, and mentions inside comments/strings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static GOOD: AtomicU64 = AtomicU64::new(0);
+
+pub fn decoys() {
+    GOOD.store(1, Ordering::SeqCst);
+    let _ = GOOD.load(Ordering::SeqCst);
+    // det: allow(ordering: fixture decoy — counter is never read back into simulated state)
+    GOOD.store(2, Ordering::Relaxed);
+    // A comment mentioning Ordering::Relaxed and .load() stays silent.
+    let _ = "Ordering::Relaxed .store(3)";
+}
+
+// det: allow(ordering: stale fixture decoy — suppresses nothing on the next line)
+pub fn violations() {
+    GOOD.store(3, Ordering::Relaxed);
+    let _ = GOOD.load();
+}

@@ -1,12 +1,13 @@
 //! The workspace self-lint: `cargo test` fails if any determinism rule
-//! (DESIGN.md §11) is violated anywhere in the live tree.
+//! (DESIGN.md §11, §16) is violated anywhere in the live tree.
 //!
 //! This is the static half of the determinism contract — the golden
 //! tests in `crates/bench/tests/golden.rs` catch a nondeterminism bug
 //! *after* it skews output; this test rejects the code shape that breeds
 //! such bugs before it ever runs. Every suppression must carry a written
 //! reason (`totoro-detlint --list-allows` audits them; the current set is
-//! committed to DESIGN.md §11).
+//! committed to DESIGN.md §11), and every suppression must actually
+//! suppress something — stale allows rot into false confidence.
 
 use std::path::Path;
 
@@ -32,7 +33,11 @@ fn workspace_has_no_determinism_violations() {
     assert!(
         report.findings.is_empty(),
         "determinism violations in the workspace:\n{}",
-        diag::render_report(&report.findings, report.files_scanned)
+        diag::render_report(
+            &report.findings,
+            &report.stale_allows(),
+            report.files_scanned
+        )
     );
     // Sanity: the walk actually saw the tree (all 8 protocol/bench crates
     // plus detlint, tests, examples, and the vendored stubs).
@@ -46,16 +51,32 @@ fn workspace_has_no_determinism_violations() {
 #[test]
 fn every_suppression_in_the_tree_carries_a_reason() {
     let report = lint_root(workspace_root()).expect("workspace lints");
-    for (file, allow) in &report.allows {
+    for r in &report.allows {
         assert!(
-            !allow.reason.trim().is_empty(),
-            "{file}:{} det: allow({}) has no reason",
-            allow.line,
-            allow.class
+            !r.allow.reason.trim().is_empty(),
+            "{}:{} det: allow({}) has no reason",
+            r.file,
+            r.allow.line,
+            r.allow.class
         );
     }
     assert!(
         !report.allows.is_empty(),
         "the tree documents its known-safe sites via det: allow annotations"
+    );
+}
+
+#[test]
+fn no_suppression_in_the_tree_is_stale() {
+    let report = lint_root(workspace_root()).expect("workspace lints");
+    let stale: Vec<String> = report
+        .stale_allows()
+        .iter()
+        .map(|r| format!("{}:{} allow({})", r.file, r.allow.line, r.allow.class))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale det: allow annotations (suppress nothing — remove or fix):\n{}",
+        stale.join("\n")
     );
 }

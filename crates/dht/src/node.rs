@@ -526,7 +526,7 @@ impl<U: UpperLayer> DhtNode<U> {
         }
         ctx.charge_compute(
             ComputeKind::DhtTask,
-            SimDuration::from_micros(20 + 2 * count as u64),
+            SimDuration::from_micros((2 * count as u64).saturating_add(20)),
         );
         self.start_maintenance(ctx);
     }

@@ -92,6 +92,7 @@ pub struct QuantVec {
 
 /// Quantizes `v` linearly into int8.
 pub fn quantize_int8(v: &[f32]) -> QuantVec {
+    // det: allow(float: max over abs values is exactly commutative and associative; fold order cannot change the result)
     let max = v.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
     let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
     QuantVec {

@@ -263,8 +263,10 @@ pub fn argmax(v: &[f32]) -> usize {
 
 /// Numerically stable softmax.
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    // det: allow(float: f32::max is exactly commutative and associative; fold order cannot change the result)
     let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.iter().map(|&x| (x - m).exp()).collect();
+    // det: allow(float: left-to-right over the exps Vec, whose slice order mirrors the caller's logit order — canonical, never an unordered container)
     let sum: f32 = exps.iter().sum();
     exps.into_iter().map(|e| e / sum).collect()
 }

@@ -1027,7 +1027,7 @@ impl<F: ForestApp> Forest<F> {
         }
         dht.charge_compute(
             ComputeKind::DhtTask,
-            SimDuration::from_micros(10 + 2 * n_topics),
+            SimDuration::from_micros((2 * n_topics).saturating_add(10)),
         );
         dht.set_timer(tick, 0);
     }

@@ -290,6 +290,7 @@ mod tests {
 
         proptest! {
             #[test]
+            #[cfg_attr(miri, ignore = "proptest persistence and case volume break under Miri")]
             fn merge_is_union_sorted_and_commutative(
                 a in arb_schedule(0),
                 b in arb_schedule(10_000),
@@ -314,6 +315,7 @@ mod tests {
             }
 
             #[test]
+            #[cfg_attr(miri, ignore = "proptest persistence and case volume break under Miri")]
             fn merge_preserves_down_up_pairing(
                 a in arb_schedule(20_000),
                 b in arb_schedule(30_000),
@@ -332,6 +334,7 @@ mod tests {
             }
 
             #[test]
+            #[cfg_attr(miri, ignore = "proptest persistence and case volume break under Miri")]
             fn merge_is_deterministic(a in arb_schedule(40_000), b in arb_schedule(50_000)) {
                 let once = a.clone().merge(b.clone());
                 let twice = a.merge(b);

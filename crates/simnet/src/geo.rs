@@ -217,6 +217,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "20k statistical draws are too slow under Miri")]
     fn gaussian_has_reasonable_moments() {
         let mut rng = sub_rng(3, "gauss");
         let n = 20_000;

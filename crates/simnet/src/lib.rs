@@ -24,6 +24,7 @@ pub mod bitset;
 pub mod chaos;
 pub mod churn;
 pub mod geo;
+pub mod numeric;
 pub mod obs;
 pub mod payload;
 pub mod queue;

@@ -326,9 +326,10 @@ impl RecordingSink {
         }
     }
 
-    /// Restricts *buffered* records to one layer tag. Metrics still
-    /// aggregate over every layer, so a filtered trace keeps its full
-    /// registry snapshot.
+    /// Restricts *buffered* records to the given layer tags — one tag or
+    /// a comma-separated list (`"forest,dht"`). Metrics still aggregate
+    /// over every layer, so a filtered trace keeps its full registry
+    /// snapshot.
     pub fn with_layer_filter(mut self, layer: Option<String>) -> Self {
         self.filter = layer;
         self
@@ -354,7 +355,7 @@ impl TraceSink for RecordingSink {
     fn record(&mut self, rec: TraceRecord) {
         self.metrics.observe(&rec, self.nodes);
         if let Some(filter) = &self.filter {
-            if rec.layer != filter.as_str() {
+            if !filter.split(',').any(|layer| layer == rec.layer) {
                 return;
             }
         }
@@ -976,5 +977,19 @@ mod tests {
         assert!(sink.records().is_empty(), "forest records filtered out");
         let snap = sink.snapshot().unwrap();
         assert_eq!(snap.counters["forest.sends"], 3);
+    }
+
+    #[test]
+    fn recording_sink_filter_accepts_comma_separated_layer_lists() {
+        let mut sink = RecordingSink::new(8).with_layer_filter(Some("forest,dht".to_string()));
+        for r in chain() {
+            sink.record(r);
+        }
+        assert_eq!(sink.records().len(), 6, "forest is in the filter list");
+        let mut sink = RecordingSink::new(8).with_layer_filter(Some("dht,sim".to_string()));
+        for r in chain() {
+            sink.record(r);
+        }
+        assert!(sink.records().is_empty(), "forest is not in the list");
     }
 }

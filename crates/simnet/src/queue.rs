@@ -611,6 +611,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "10k-round differential loop is too slow under Miri")]
     fn interleaved_push_pop_over_window_wraps() {
         // A long-lived periodic pattern that repeatedly wraps the wheel:
         // mirrors a re-arming timer with a 97 µs stride.
@@ -661,6 +662,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "2k-round wrap loop is too slow under Miri")]
     fn pop_before_across_many_window_wraps() {
         // A re-arming timer driven purely through `pop_before`, with a
         // stride chosen so `base_tick % NUM_SLOTS` cycles through the whole
@@ -710,6 +712,89 @@ mod tests {
             assert_eq!(heap.len(), wheel.len());
         }
         assert_eq!(heap.snapshot(), wheel.snapshot());
+        assert_eq!(drain_all(&mut heap), drain_all(&mut wheel));
+    }
+
+    #[test]
+    fn snapshot_and_remove_on_far_future_overflow_band() {
+        // The PR-9 exploration hooks (`snapshot`/`remove`) must see events
+        // parked in the far-future heap band exactly as the reference heap
+        // does — including events many windows out that no pop has come
+        // near yet.
+        let span = (NUM_SLOTS as u64) << GRANULARITY_SHIFT;
+        let mut heap = HeapQueue::with_capacity(4);
+        let mut wheel = WheelQueue::with_capacity(4);
+        let far = [
+            (2 * span + 7, 0, 10),
+            (5 * span, 1, 11),
+            (5 * span, 2, 12), // same µs, later seq — heap-band tiebreak
+            (40 * span + 1, 3, 13),
+        ];
+        for &(us, seq, slot) in &far {
+            heap.push(key(us, seq), slot);
+            wheel.push(key(us, seq), slot);
+        }
+        // Snapshot with *everything* in overflow: sorted, complete.
+        assert_eq!(heap.snapshot(), wheel.snapshot());
+        assert_eq!(wheel.snapshot().len(), 4);
+        // Remove straight out of the heap band, twice (head and interior),
+        // plus a near-miss key one µs off an occupied slot.
+        for k in [
+            key(5 * span, 1),
+            key(40 * span + 1, 3),
+            key(2 * span + 6, 0),
+        ] {
+            assert_eq!(heap.remove(k), wheel.remove(k), "removing {k:?}");
+            assert_eq!(heap.len(), wheel.len());
+        }
+        assert_eq!(heap.snapshot(), wheel.snapshot());
+        assert_eq!(drain_all(&mut heap), drain_all(&mut wheel));
+    }
+
+    #[test]
+    fn remove_then_advance_migration_keeps_bands_consistent() {
+        // Removing from the overflow band and *then* advancing the window
+        // (which migrates the survivors into wheel buckets) must not
+        // resurrect the removed event or skew occupancy bookkeeping; and a
+        // survivor that migrated must still be removable from its bucket.
+        let span = (NUM_SLOTS as u64) << GRANULARITY_SHIFT;
+        let mut heap = HeapQueue::with_capacity(4);
+        let mut wheel = WheelQueue::with_capacity(4);
+        let events = [
+            (10, 0, 0),            // in-window anchor
+            (span + 5, 1, 1),      // first out-of-window tick
+            (span + 5, 2, 2),      // same tick, later seq
+            (2 * span + 64, 3, 3), // a full window further out
+        ];
+        for &(us, seq, slot) in &events {
+            heap.push(key(us, seq), slot);
+            wheel.push(key(us, seq), slot);
+        }
+        // Remove one overflow event pre-migration.
+        assert_eq!(
+            heap.remove(key(span + 5, 1)),
+            wheel.remove(key(span + 5, 1))
+        );
+        // Advance past the window edge: survivors migrate into buckets.
+        let cut = SimTime::from_micros(span + 5);
+        loop {
+            let h = heap.pop_before(cut);
+            let w = wheel.pop_before(cut);
+            assert_eq!(h, w);
+            if h.is_none() {
+                break;
+            }
+        }
+        assert_eq!(heap.snapshot(), wheel.snapshot());
+        // The removed key must not reappear post-migration...
+        assert_eq!(heap.remove(key(span + 5, 1)), None);
+        assert_eq!(wheel.remove(key(span + 5, 1)), None);
+        // ...and a migrated survivor is removable from its new band.
+        assert_eq!(
+            heap.remove(key(span + 5, 2)),
+            wheel.remove(key(span + 5, 2))
+        );
+        assert_eq!(heap.len(), wheel.len());
         assert_eq!(drain_all(&mut heap), drain_all(&mut wheel));
     }
 

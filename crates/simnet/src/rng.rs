@@ -93,6 +93,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "10k statistical draws are too slow under Miri")]
     fn keyed_unit_hits_probabilities_roughly() {
         // ~Bernoulli(0.3) over many distinct part tuples.
         let hits = (0..10_000u64)

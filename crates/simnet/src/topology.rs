@@ -177,10 +177,10 @@ impl Topology {
         match self.latency {
             LatencyModel::Geo { base_us, per_km_us } => {
                 let d = self.points[a].distance_km(&self.points[b]);
-                SimDuration::from_micros(base_us + (d * per_km_us).round() as u64)
+                SimDuration::from_micros(base_us.saturating_add((d * per_km_us).round() as u64))
             }
             LatencyModel::Uniform { min_us, max_us } => {
-                SimDuration::from_micros((min_us + max_us) / 2)
+                SimDuration::from_micros(min_us.saturating_add(max_us) / 2)
             }
         }
     }
@@ -222,6 +222,7 @@ impl Topology {
             .min(self.profiles[b].bandwidth_bps)
             .max(1);
         let tx_us = (size_bytes as f64 * 8.0 / bw as f64) * 1_000_000.0;
+        // det: allow(time: f64 addition cannot wrap; the sum is rounded into u64 micros, saturating at the f64-to-int cast)
         SimDuration::from_micros(((prop_us * jitter_factor) + tx_us).round() as u64)
     }
 
@@ -325,6 +326,7 @@ impl Topology {
                         }
                     }
                 }
+                // det: allow(time: f64 addition cannot wrap; the sum is floored into u64 micros, saturating at the f64-to-int cast)
                 Some(SimDuration::from_micros(
                     (base_us as f64 + lb_km * per_km_us.max(0.0)).floor() as u64,
                 ))

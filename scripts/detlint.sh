@@ -1,7 +1,8 @@
 #!/bin/bash
-# Runs the workspace determinism linter (crates/detlint, DESIGN.md §11)
-# over the live tree. Exit 0 means no violations; exit 1 lists rustc-style
-# diagnostics; exit 2 is a usage/IO failure.
+# Runs the workspace determinism linter (crates/detlint, DESIGN.md §11,
+# §16) over the live tree. Exit 0 means no violations (stale-suppression
+# warnings are exit-0); exit 1 lists rustc-style diagnostics; exit 2 is a
+# usage/IO failure.
 #
 # Extra flags are passed straight through, e.g.:
 #   ./scripts/detlint.sh --json          machine-readable report
@@ -9,3 +10,9 @@
 set -e
 cd "$(dirname "$0")/.."
 cargo run -q --release -p totoro-detlint -- "$@"
+# Bare runs also guard the JSON artifact schema: CI's detlint job consumes
+# the per-rule `rule_counts` summary block, so its disappearance must fail
+# the script, not silently produce a schema-less artifact.
+if [ "$#" -eq 0 ]; then
+  cargo run -q --release -p totoro-detlint -- --json | grep -q '"rule_counts"'
+fi
